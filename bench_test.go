@@ -1,0 +1,148 @@
+package resilient
+
+import (
+	"fmt"
+	"testing"
+
+	"resilient/internal/experiments"
+)
+
+// One benchmark per experiment in the DESIGN.md index. Each iteration
+// regenerates the experiment's tables at reduced (Quick) scale; the real
+// tables in EXPERIMENTS.md come from `go run ./cmd/experiments` at full
+// scale. Benchmarking the harness keeps the entire reproduction path --
+// protocol machines, engines, chains, statistics -- on the measured path.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	p := experiments.QuickParams()
+	p.Trials = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i) + 1
+		tables, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1FailStopAbsorption(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2MaliciousAbsorption(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3FailStopProtocol(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4MaliciousProtocol(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5LowerBound(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6MajorityApprox(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7FastPropagation(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8BenOrBaseline(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9MessageComplexity(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10Bivalence(b *testing.B)          { benchExperiment(b, "E10") }
+
+// Protocol micro-benchmarks: one full consensus execution per iteration
+// under the discrete-event engine.
+
+func benchSimulate(b *testing.B, p Protocol, n, k int, opts SimOptions) {
+	b.Helper()
+	inputs := make([]Value, n)
+	for i := range inputs {
+		inputs[i] = Value(i % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i)
+		res, err := Simulate(p, n, k, inputs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDecided {
+			b.Fatalf("iteration %d stalled: %v", i, res.Stalled)
+		}
+	}
+}
+
+func BenchmarkFailStopN7K3(b *testing.B) {
+	benchSimulate(b, ProtocolFailStop, 7, 3, SimOptions{})
+}
+
+func BenchmarkFailStopN21K10(b *testing.B) {
+	benchSimulate(b, ProtocolFailStop, 21, 10, SimOptions{})
+}
+
+func BenchmarkMaliciousN7K2(b *testing.B) {
+	benchSimulate(b, ProtocolMalicious, 7, 2, SimOptions{})
+}
+
+func BenchmarkMaliciousN13K4(b *testing.B) {
+	benchSimulate(b, ProtocolMalicious, 13, 4, SimOptions{})
+}
+
+func BenchmarkMaliciousWithBalancers(b *testing.B) {
+	benchSimulate(b, ProtocolMalicious, 10, 3, SimOptions{
+		Adversaries: map[ID]Strategy{8: StrategyBalancer, 9: StrategyBalancer},
+	})
+}
+
+func BenchmarkBenOrCrashN7K3(b *testing.B) {
+	benchSimulate(b, ProtocolBenOrCrash, 7, 3, SimOptions{})
+}
+
+func BenchmarkBivalenceN7(b *testing.B) {
+	benchSimulate(b, ProtocolBivalence, 7, 2, SimOptions{
+		Crashes: map[ID]Crash{6: {Process: 6, Phase: 0, AfterSends: 0}},
+	})
+}
+
+// Analysis micro-benchmarks.
+
+func BenchmarkAnalyzeFailStopExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeFailStop(150, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeMaliciousExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeMalicious(150, 6, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloAbsorption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFailStopAbsorption(300, 100, 100, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scaling benchmarks: engine cost as a function of n for both figures.
+
+func BenchmarkScalingFigure1(b *testing.B) {
+	for _, n := range []int{5, 9, 13, 17, 21} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSimulate(b, ProtocolFailStop, n, (n-1)/2, SimOptions{})
+		})
+	}
+}
+
+func BenchmarkScalingFigure2(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSimulate(b, ProtocolMalicious, n, (n-1)/3, SimOptions{})
+		})
+	}
+}
+
+func BenchmarkE11Ablations(b *testing.B) { benchExperiment(b, "E11") }
+
+func BenchmarkE12Impersonation(b *testing.B) { benchExperiment(b, "E12") }

@@ -1,0 +1,104 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+
+	"resilient/internal/core"
+	"resilient/internal/livenet"
+	"resilient/internal/msg"
+	"resilient/internal/netxport"
+	"resilient/internal/transport"
+)
+
+// ClusterReport summarizes a live cluster run; see the livenet package.
+type ClusterReport = livenet.Report
+
+// ClusterDecision is one process's decision in a live run.
+type ClusterDecision = livenet.Decision
+
+// buildMachines constructs one honest machine per process.
+func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64) ([]core.Machine, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("resilient: %d inputs for %d processes", len(inputs), n)
+	}
+	machines := make([]core.Machine, n)
+	for i := 0; i < n; i++ {
+		cfg := MachineConfig{N: n, K: k, Self: ID(i), Input: inputs[i]}
+		var (
+			m   Machine
+			err error
+		)
+		switch p {
+		case ProtocolBenOrCrash, ProtocolBenOrByzantine:
+			m, err = NewBenOrMachine(p, cfg, seed^uint64(i+1)*0x9e3779b97f4a7c15)
+		default:
+			m, err = NewMachine(p, cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("resilient: build p%d: %w", i, err)
+		}
+		machines[i] = m
+	}
+	return machines, nil
+}
+
+// RunCluster executes the protocol live: one goroutine per process over an
+// in-memory message system, until every process decides or ctx expires.
+func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*ClusterReport, error) {
+	machines, err := buildMachines(p, n, k, inputs, 1)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := livenet.NewMemCluster(machines)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Run(ctx)
+}
+
+// RunTCPCluster executes the protocol live over loopback TCP: every process
+// gets its own listening socket and a full mesh of connections. It is the
+// deployment-shaped demonstration; for experiments use Simulate.
+func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*ClusterReport, error) {
+	machines, err := buildMachines(p, n, k, inputs, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Stage 1: everyone listens on an ephemeral port.
+	endpoints := make([]*netxport.Endpoint, n)
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	for i := 0; i < n; i++ {
+		ep, err := netxport.Listen(msg.ID(i), addrs)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				endpoints[j].Close()
+			}
+			return nil, err
+		}
+		endpoints[i] = ep
+	}
+	// Stage 2: exchange the discovered addresses.
+	final := make([]string, n)
+	for i, ep := range endpoints {
+		final[i] = ep.Addr()
+	}
+	conns := make([]transport.Conn, n)
+	for i, ep := range endpoints {
+		for j, a := range final {
+			ep.SetPeerAddr(msg.ID(j), a)
+		}
+		conns[i] = ep
+	}
+	cluster, err := livenet.NewCluster(machines, conns)
+	if err != nil {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+		return nil, err
+	}
+	return cluster.Run(ctx)
+}

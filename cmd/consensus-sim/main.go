@@ -1,0 +1,328 @@
+// Command consensus-sim runs a single consensus execution under the
+// discrete-event engine and reports the outcome.
+//
+// Usage:
+//
+//	consensus-sim -protocol failstop -n 7 -k 3 -inputs 0101011 -seed 1
+//	consensus-sim -protocol malicious -n 10 -k 3 -adversary balancer -trace
+//	consensus-sim -protocol failstop -n 9 -k 4 -crash "3:1:5,7:0:0" -trials 100
+//
+// With -trials > 1 it reports aggregate statistics over seeded runs instead
+// of a single execution.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"resilient"
+	"resilient/internal/stats"
+	"resilient/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence")
+		n         = fs.Int("n", 7, "number of processes")
+		k         = fs.Int("k", -1, "fault parameter (default: the protocol's maximum for n)")
+		inputsStr = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		trials    = fs.Int("trials", 1, "number of seeded runs")
+		crashSpec = fs.String("crash", "", "crash plan: comma-separated id:phase:afterSends entries")
+		advSpec   = fs.String("adversary", "", "byzantine strategy on the k highest-numbered processes: silent | balancer | flipper | liar0 | liar1 | equivocator | double-echo | mute")
+		showTrace = fs.Bool("trace", false, "print the execution trace (single-trial runs only)")
+		unsafe    = fs.Bool("unsafe", false, "skip the resilience-bound validation of (n, k)")
+		asJSON    = fs.Bool("json", false, "emit the result as JSON (single-trial runs only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	if *k < 0 {
+		*k = proto.MaxFaults(*n)
+	}
+	inputs, err := parseInputs(*inputsStr, *n)
+	if err != nil {
+		return err
+	}
+	crashes, err := parseCrashes(*crashSpec)
+	if err != nil {
+		return err
+	}
+	adversaries, err := parseAdversaries(*advSpec, *n, *k)
+	if err != nil {
+		return err
+	}
+
+	if *trials <= 1 {
+		opts := resilient.SimOptions{
+			Seed:        *seed,
+			Crashes:     crashes,
+			Adversaries: adversaries,
+			Unsafe:      *unsafe,
+		}
+		var buf *trace.Buffer
+		if *showTrace {
+			buf = trace.NewBuffer(0)
+			opts.Trace = buf
+		}
+		res, err := resilient.Simulate(proto, *n, *k, inputs, opts)
+		if err != nil {
+			return err
+		}
+		if buf != nil {
+			for _, e := range buf.Events() {
+				fmt.Println(e)
+			}
+		}
+		if *asJSON {
+			return printJSON(proto, *n, *k, res)
+		}
+		printResult(res)
+		return nil
+	}
+
+	var phases, msgs stats.Accumulator
+	agree, decided := 0, 0
+	for tr := 0; tr < *trials; tr++ {
+		res, err := resilient.Simulate(proto, *n, *k, inputs, resilient.SimOptions{
+			Seed:        *seed + uint64(tr),
+			Crashes:     crashes,
+			Adversaries: adversaries,
+			Unsafe:      *unsafe,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Agreement {
+			agree++
+		}
+		if res.AllDecided {
+			decided++
+		}
+		maxPh := 0
+		for _, ph := range res.DecisionPhase {
+			if int(ph) > maxPh {
+				maxPh = int(ph)
+			}
+		}
+		phases.Add(float64(maxPh))
+		msgs.Add(float64(res.MessagesSent))
+	}
+	fmt.Printf("protocol   %v  n=%d k=%d  trials=%d\n", proto, *n, *k, *trials)
+	fmt.Printf("terminated %d/%d\n", decided, *trials)
+	fmt.Printf("agreement  %d/%d\n", agree, *trials)
+	fmt.Printf("phases     %s\n", phases.Summarize())
+	fmt.Printf("messages   %s\n", msgs.Summarize())
+	return nil
+}
+
+func parseProtocol(name string) (resilient.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "failstop", "fig1":
+		return resilient.ProtocolFailStop, nil
+	case "malicious", "fig2":
+		return resilient.ProtocolMalicious, nil
+	case "majority":
+		return resilient.ProtocolMajority, nil
+	case "benor-crash":
+		return resilient.ProtocolBenOrCrash, nil
+	case "benor-byzantine":
+		return resilient.ProtocolBenOrByzantine, nil
+	case "bivalence":
+		return resilient.ProtocolBivalence, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func parseInputs(s string, n int) ([]resilient.Value, error) {
+	inputs := make([]resilient.Value, n)
+	if s == "" {
+		for i := range inputs {
+			inputs[i] = resilient.Value(i % 2)
+		}
+		return inputs, nil
+	}
+	if len(s) != n {
+		return nil, fmt.Errorf("inputs length %d, want %d", len(s), n)
+	}
+	for i, c := range s {
+		switch c {
+		case '0':
+			inputs[i] = resilient.V0
+		case '1':
+			inputs[i] = resilient.V1
+		default:
+			return nil, fmt.Errorf("inputs must be 0/1, got %q", c)
+		}
+	}
+	return inputs, nil
+}
+
+func parseCrashes(spec string) (map[resilient.ID]resilient.Crash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := make(map[resilient.ID]resilient.Crash)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("crash entry %q: want id:phase:afterSends", entry)
+		}
+		vals := make([]int, 3)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("crash entry %q: %w", entry, err)
+			}
+			vals[i] = v
+		}
+		id := resilient.ID(vals[0])
+		plan[id] = resilient.Crash{
+			Process:    id,
+			Phase:      resilient.Phase(vals[1]),
+			AfterSends: vals[2],
+		}
+	}
+	return plan, nil
+}
+
+func parseAdversaries(spec string, n, k int) (map[resilient.ID]resilient.Strategy, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var strat resilient.Strategy
+	switch strings.ToLower(spec) {
+	case "silent":
+		strat = resilient.StrategySilent
+	case "balancer":
+		strat = resilient.StrategyBalancer
+	case "flipper":
+		strat = resilient.StrategyFlipper
+	case "liar0":
+		strat = resilient.StrategyLiar0
+	case "liar1":
+		strat = resilient.StrategyLiar1
+	case "equivocator":
+		strat = resilient.StrategyEquivocator
+	case "double-echo":
+		strat = resilient.StrategyDoubleEcho
+	case "mute":
+		strat = resilient.StrategyMute
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", spec)
+	}
+	if k < 1 {
+		return nil, errors.New("adversaries need k >= 1")
+	}
+	adv := make(map[resilient.ID]resilient.Strategy, k)
+	for i := 0; i < k; i++ {
+		adv[resilient.ID(n-1-i)] = strat
+	}
+	return adv, nil
+}
+
+// jsonResult is the machine-readable single-run summary.
+type jsonResult struct {
+	Protocol   string         `json:"protocol"`
+	N          int            `json:"n"`
+	K          int            `json:"k"`
+	AllDecided bool           `json:"allDecided"`
+	Agreement  bool           `json:"agreement"`
+	Value      *int           `json:"value,omitempty"`
+	Stalled    string         `json:"stalled,omitempty"`
+	Messages   int            `json:"messagesSent"`
+	Delivered  int            `json:"messagesDelivered"`
+	Events     int            `json:"events"`
+	SimTime    float64        `json:"simTime"`
+	MaxPhase   int            `json:"maxPhase"`
+	Crashed    []int          `json:"crashed,omitempty"`
+	Decisions  []jsonDecision `json:"decisions"`
+}
+
+type jsonDecision struct {
+	Process int     `json:"process"`
+	Value   int     `json:"value"`
+	Phase   int     `json:"phase"`
+	Time    float64 `json:"time"`
+}
+
+func printJSON(proto resilient.Protocol, n, k int, res *resilient.Result) error {
+	out := jsonResult{
+		Protocol:   proto.String(),
+		N:          n,
+		K:          k,
+		AllDecided: res.AllDecided,
+		Agreement:  res.Agreement,
+		Messages:   res.MessagesSent,
+		Delivered:  res.MessagesDelivered,
+		Events:     res.Events,
+		SimTime:    res.SimTime,
+		MaxPhase:   int(res.MaxPhase),
+	}
+	if res.DecidedCount() > 0 {
+		v := int(res.Value)
+		out.Value = &v
+	}
+	if res.Stalled != resilient.NotStalled {
+		out.Stalled = res.Stalled.String()
+	}
+	for _, id := range res.Crashed {
+		out.Crashed = append(out.Crashed, int(id))
+	}
+	for id, v := range res.Decisions {
+		out.Decisions = append(out.Decisions, jsonDecision{
+			Process: int(id),
+			Value:   int(v),
+			Phase:   int(res.DecisionPhase[id]),
+			Time:    res.DecisionTime[id],
+		})
+	}
+	sort.Slice(out.Decisions, func(i, j int) bool {
+		return out.Decisions[i].Process < out.Decisions[j].Process
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printResult(res *resilient.Result) {
+	fmt.Printf("all decided  %v\n", res.AllDecided)
+	fmt.Printf("agreement    %v\n", res.Agreement)
+	if res.DecidedCount() > 0 {
+		fmt.Printf("value        %d\n", res.Value)
+	}
+	if res.Stalled != resilient.NotStalled {
+		fmt.Printf("stalled      %v\n", res.Stalled)
+	}
+	fmt.Printf("messages     %d sent, %d delivered\n", res.MessagesSent, res.MessagesDelivered)
+	fmt.Printf("events       %d\n", res.Events)
+	fmt.Printf("sim time     %.3f\n", res.SimTime)
+	fmt.Printf("max phase    %d\n", res.MaxPhase)
+	if len(res.Crashed) > 0 {
+		fmt.Printf("crashed      %v\n", res.Crashed)
+	}
+	for id, v := range res.Decisions {
+		fmt.Printf("  p%-3d decided %d in phase %d at t=%.3f\n",
+			id, v, res.DecisionPhase[id], res.DecisionTime[id])
+	}
+}

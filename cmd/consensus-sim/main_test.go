@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"resilient"
+)
+
+func TestParseProtocol(t *testing.T) {
+	cases := map[string]resilient.Protocol{
+		"failstop":        resilient.ProtocolFailStop,
+		"fig1":            resilient.ProtocolFailStop,
+		"malicious":       resilient.ProtocolMalicious,
+		"FIG2":            resilient.ProtocolMalicious,
+		"majority":        resilient.ProtocolMajority,
+		"benor-crash":     resilient.ProtocolBenOrCrash,
+		"benor-byzantine": resilient.ProtocolBenOrByzantine,
+		"bivalence":       resilient.ProtocolBivalence,
+	}
+	for name, want := range cases {
+		got, err := parseProtocol(name)
+		if err != nil || got != want {
+			t.Errorf("parseProtocol(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseProtocol("paxos"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs("0101", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []resilient.Value{0, 1, 0, 1}
+	for i, v := range want {
+		if in[i] != v {
+			t.Fatalf("inputs %v, want %v", in, want)
+		}
+	}
+	// Default alternation.
+	def, err := parseInputs("", 3)
+	if err != nil || len(def) != 3 {
+		t.Fatalf("default inputs %v, %v", def, err)
+	}
+	if _, err := parseInputs("01", 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseInputs("01x", 3); err == nil {
+		t.Error("non-binary input accepted")
+	}
+}
+
+func TestParseCrashes(t *testing.T) {
+	plan, err := parseCrashes("3:1:5,0:0:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan %v", plan)
+	}
+	c := plan[3]
+	if c.Phase != 1 || c.AfterSends != 5 {
+		t.Errorf("crash %+v", c)
+	}
+	if p, err := parseCrashes(""); err != nil || p != nil {
+		t.Error("empty spec should give nil plan")
+	}
+	for _, bad := range []string{"3:1", "a:b:c", "1:2:3:4"} {
+		if _, err := parseCrashes(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseAdversaries(t *testing.T) {
+	adv, err := parseAdversaries("balancer", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv) != 3 {
+		t.Fatalf("adversaries %v", adv)
+	}
+	for _, id := range []resilient.ID{7, 8, 9} {
+		if adv[id] != resilient.StrategyBalancer {
+			t.Errorf("p%d strategy %v", id, adv[id])
+		}
+	}
+	if a, err := parseAdversaries("", 10, 3); err != nil || a != nil {
+		t.Error("empty spec should give nil")
+	}
+	if _, err := parseAdversaries("nonsense", 10, 3); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := parseAdversaries("silent", 10, 0); err == nil {
+		t.Error("k=0 with adversaries accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Single trial and aggregate mode both complete without error.
+	if err := run([]string{"-protocol", "failstop", "-n", "5", "-k", "2", "-seed", "3"}); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	if err := run([]string{"-protocol", "malicious", "-n", "7", "-trials", "5"}); err != nil {
+		t.Fatalf("aggregate run: %v", err)
+	}
+	if err := run([]string{"-protocol", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("bogus protocol: %v", err)
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	if err := run([]string{"-protocol", "failstop", "-n", "5", "-k", "2", "-json"}); err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+}

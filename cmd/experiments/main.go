@@ -1,0 +1,95 @@
+// Command experiments regenerates every table of the reproduction (the
+// E1-E10 index in DESIGN.md) and prints them as text or markdown.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -only E1,E5     # run a subset
+//	experiments -quick          # reduced scale (seconds, not minutes)
+//	experiments -markdown       # emit EXPERIMENTS.md-ready markdown
+//	experiments -trials 1000    # more trials per row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"resilient/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only     = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		quick    = fs.Bool("quick", false, "reduced system sizes and trial counts")
+		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
+		trials   = fs.Int("trials", 0, "trials per table row (0 = default)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		outPath  = fs.String("out", "", "write output to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := experiments.DefaultParams()
+	if *quick {
+		params = experiments.QuickParams()
+	}
+	if *trials > 0 {
+		params.Trials = *trials
+	}
+	params.Seed = *seed
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if !*markdown {
+			fmt.Fprintf(out, "=== %s: %s (%.1fs) ===\n\n", e.ID, e.Name, time.Since(start).Seconds())
+		}
+		for _, t := range tables {
+			if *markdown {
+				t.Markdown(out)
+			} else {
+				t.Format(out)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSelectedExperiment(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "e12.md")
+	err := run([]string{"-only", "E12", "-quick", "-markdown", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "E12") || !strings.Contains(text, "DISAGREEMENT") {
+		t.Fatalf("unexpected output:\n%s", text)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

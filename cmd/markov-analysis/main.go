@@ -1,0 +1,128 @@
+// Command markov-analysis prints the Section 4 analytic results: the w_i
+// view-majority probabilities, exact expected absorption times from every
+// state, the collapsed 3-state bound of eq. (13), and the malicious-case
+// bound 1/(2*Phi(l)).
+//
+// Usage:
+//
+//	markov-analysis -n 90                  # fail-stop chain with k = n/3
+//	markov-analysis -n 90 -k 20            # explicit k
+//	markov-analysis -n 100 -k 5 -malicious # Section 4.2 chain
+//	markov-analysis -n 90 -states          # include the per-state table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resilient/internal/markov"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "markov-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("markov-analysis", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 90, "number of processes")
+		k         = fs.Int("k", -1, "fault parameter (default n/3)")
+		malicious = fs.Bool("malicious", false, "analyse the Section 4.2 chain (k balancing adversaries)")
+		forced    = fs.Bool("forced", true, "malicious chain: adversary messages in every view (the paper's model)")
+		states    = fs.Bool("states", false, "print expected absorption time for every state")
+		tailN     = fs.Int("tail", 0, "print P[T > t] for t = 0..tail from the balanced state")
+		l         = fs.Float64("l", markov.DefaultL, "band parameter l for the collapsed bounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 0 {
+		*k = *n / 3
+	}
+
+	if *malicious {
+		return maliciousAnalysis(*n, *k, *forced, *l, *states, *tailN)
+	}
+	return failStopAnalysis(*n, *k, *l, *states, *tailN)
+}
+
+func printTail(tail []float64) {
+	fmt.Println("  t    P[T > t]")
+	for t, p := range tail {
+		fmt.Printf("  %-4d %.3e\n", t, p)
+	}
+}
+
+func failStopAnalysis(n, k int, l float64, states bool, tailN int) error {
+	chain := markov.FailStop{N: n, K: k}
+	if err := chain.Validate(); err != nil {
+		return err
+	}
+	times, err := chain.ExpectedAbsorption()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fail-stop chain  n=%d k=%d  (Section 4.1)\n", n, k)
+	fmt.Printf("  states: 0..%d = processes holding value 1\n", n)
+	fmt.Printf("  absorbing region: 2i < n-k (= %d) or 2i > n+k (= %d)\n", n-k, n+k)
+	fmt.Printf("  exact E[T] from balanced state %d:  %.4f phases\n", n/2, times[n/2])
+	fmt.Printf("  collapsed bound eq.(13), l=%.4f:    %.4f phases\n", l, markov.CollapsedBound(n, l))
+	viaMatrix, err := markov.CollapsedBoundViaMatrix(n, l)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  collapsed bound via (I-Q)^-1:       %.4f phases\n", viaMatrix)
+	fmt.Printf("  paper's headline (l^2 = 1.5): bound < 7 for every n -> %v\n",
+		markov.CollapsedBound(n, markov.DefaultL) < 7)
+	if states {
+		fmt.Println("  state   w_i      E[T]")
+		for i := 0; i <= n; i++ {
+			fmt.Printf("  %5d   %.4f   %.4f\n", i, chain.W(i), times[i])
+		}
+	}
+	if tailN > 0 {
+		tail, err := chain.TailFromBalanced(tailN)
+		if err != nil {
+			return err
+		}
+		printTail(tail)
+	}
+	return nil
+}
+
+func maliciousAnalysis(n, k int, forced bool, l float64, states bool, tailN int) error {
+	chain := markov.Malicious{N: n, K: k, Forced: forced}
+	if err := chain.Validate(); err != nil {
+		return err
+	}
+	times, err := chain.ExpectedAbsorption()
+	if err != nil {
+		return err
+	}
+	correct := chain.Correct()
+	lk := markov.LForK(n, k)
+	fmt.Printf("malicious chain  n=%d k=%d forced=%v  (Section 4.2)\n", n, k, forced)
+	fmt.Printf("  states: 0..%d = correct processes holding value 1\n", correct)
+	fmt.Printf("  k corresponds to l = 2k/sqrt(n) = %.4f\n", lk)
+	fmt.Printf("  exact E[T] from balanced state %d:  %.4f phases\n", correct/2, times[correct/2])
+	fmt.Printf("  paper bound 1/(2*Phi(l)):           %.4f phases\n", markov.MaliciousBound(lk))
+	fmt.Printf("  bound at requested l=%.4f:          %.4f phases\n", l, markov.MaliciousBound(l))
+	if states {
+		fmt.Println("  state   w_i      E[T]")
+		for i := 0; i <= correct; i++ {
+			fmt.Printf("  %5d   %.4f   %.4f\n", i, chain.W(i), times[i])
+		}
+	}
+	if tailN > 0 {
+		tail, err := chain.TailFromBalanced(tailN)
+		if err != nil {
+			return err
+		}
+		printTail(tail)
+	}
+	return nil
+}

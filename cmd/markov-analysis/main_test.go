@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunFailStop(t *testing.T) {
+	if err := run([]string{"-n", "30", "-states", "-tail", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMalicious(t *testing.T) {
+	if err := run([]string{"-n", "64", "-k", "3", "-malicious", "-tail", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-malicious", "-forced=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run([]string{"-n", "10", "-k", "5", "-malicious"}); err == nil {
+		t.Fatal("2k=n accepted for malicious chain")
+	}
+}

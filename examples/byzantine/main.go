@@ -1,0 +1,47 @@
+// Byzantine: ten processes reach consensus with the Figure 2 echo protocol
+// while three of them -- the floor((10-1)/3) maximum -- run hostile
+// strategies: one equivocates (different values to different peers), one is
+// the omniscient balancer of Section 4, and one sends conflicting duplicate
+// echoes. The echo-broadcast acceptance rule (strictly more than (n+k)/2
+// matching echoes, first echo per sender only) defuses all three.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilient"
+)
+
+func main() {
+	n, k := 10, 3
+	inputs := make([]resilient.Value, n)
+	for i := range inputs {
+		inputs[i] = resilient.Value(i % 2)
+	}
+
+	for _, strategies := range []map[resilient.ID]resilient.Strategy{
+		{7: resilient.StrategyEquivocator, 8: resilient.StrategyBalancer, 9: resilient.StrategyDoubleEcho},
+		{7: resilient.StrategySilent, 8: resilient.StrategySilent, 9: resilient.StrategySilent},
+		{7: resilient.StrategyLiar1, 8: resilient.StrategyLiar1, 9: resilient.StrategyLiar1},
+	} {
+		res, err := resilient.Simulate(resilient.ProtocolMalicious, n, k, inputs, resilient.SimOptions{
+			Seed:        7,
+			Adversaries: strategies,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("adversaries %v\n", strategyNames(strategies))
+		fmt.Printf("  correct processes decided: %d/%d, agreement: %v, value: %d, phases: %d\n",
+			res.DecidedCount(), n-k, res.Agreement, res.Value, res.MaxPhase)
+	}
+}
+
+func strategyNames(m map[resilient.ID]resilient.Strategy) []string {
+	names := make([]string, 0, len(m))
+	for id, s := range m {
+		names = append(names, fmt.Sprintf("p%d=%v", id, s))
+	}
+	return names
+}

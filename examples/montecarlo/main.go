@@ -1,0 +1,47 @@
+// Monte Carlo: reproduce the Section 4 analysis numbers interactively.
+// Compares, at n = 300, the exact Markov absorption time, the paper's
+// closed-form bound (< 7 phases for l^2 = 1.5), and fast Monte-Carlo
+// estimates under the uniform-view model -- then does the same for the
+// malicious chain with k = sqrt(n)/2 balancing adversaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilient"
+)
+
+func main() {
+	const n = 300
+	k := n / 3 // the paper's Section 4.1 parametrization
+
+	exact, err := resilient.AnalyzeFailStop(n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := resilient.EstimateFailStopAbsorption(n, k, 4000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := resilient.FailStopPhaseBound(n, resilient.DefaultBandL)
+	fmt.Printf("fail-stop chain, n=%d k=%d (Section 4.1)\n", n, k)
+	fmt.Printf("  exact expected absorption: %.3f phases\n", exact.FromBalanced)
+	fmt.Printf("  Monte-Carlo estimate:      %v phases\n", est)
+	fmt.Printf("  paper bound eq.(13):       %.3f phases (< 7: %v)\n\n", bound, bound < 7)
+
+	km := 9 // ~ sqrt(300)/2, i.e. l ~ 1
+	exactM, err := resilient.AnalyzeMalicious(n, km, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	estM, err := resilient.EstimateMaliciousAbsorption(n, km, 4000, true, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("malicious chain, n=%d k=%d balancing adversaries (Section 4.2)\n", n, km)
+	fmt.Printf("  exact expected absorption: %.3f phases\n", exactM.FromBalanced)
+	fmt.Printf("  Monte-Carlo estimate:      %v phases\n", estM)
+	fmt.Printf("  paper bound 1/(2*Phi(l)):  %.3f phases\n",
+		resilient.MaliciousPhaseBound(2*float64(km)/17.32))
+}

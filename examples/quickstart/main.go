@@ -1,0 +1,39 @@
+// Quickstart: seven processes reach binary consensus with the Figure 1
+// fail-stop protocol while three of them die mid-run -- the maximum
+// tolerable, since floor((7-1)/2) = 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilient"
+)
+
+func main() {
+	n, k := 7, 3
+	inputs := []resilient.Value{1, 0, 1, 1, 0, 0, 1}
+
+	res, err := resilient.Simulate(resilient.ProtocolFailStop, n, k, inputs, resilient.SimOptions{
+		Seed: 2026,
+		Crashes: map[resilient.ID]resilient.Crash{
+			// p6 never says a word; p5 dies in the middle of its phase-1
+			// broadcast (only some peers see it); p4 dies later.
+			6: {Process: 6, Phase: 0, AfterSends: 0},
+			5: {Process: 5, Phase: 1, AfterSends: 3},
+			4: {Process: 4, Phase: 2, AfterSends: 5},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("consensus with %d/%d processes crashing\n", len(res.Crashed), n)
+	fmt.Printf("  all decided: %v\n", res.AllDecided)
+	fmt.Printf("  agreement:   %v\n", res.Agreement)
+	fmt.Printf("  value:       %d\n", res.Value)
+	fmt.Printf("  messages:    %d\n", res.MessagesSent)
+	for id, v := range res.Decisions {
+		fmt.Printf("  p%d decided %d in phase %d\n", id, v, res.DecisionPhase[id])
+	}
+}

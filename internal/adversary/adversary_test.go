@@ -1,0 +1,94 @@
+package adversary
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/msg"
+	"resilient/internal/sched"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestHalves(t *testing.T) {
+	g := Halves(3)
+	for id := msg.ID(0); id < 3; id++ {
+		if g(id) != 0 {
+			t.Errorf("p%d in group %d, want 0", id, g(id))
+		}
+	}
+	for id := msg.ID(3); id < 6; id++ {
+		if g(id) != 1 {
+			t.Errorf("p%d in group %d, want 1", id, g(id))
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	g := Overlap(2, 4)
+	want := []int{0, 0, 2, 2, 1, 1}
+	for id, w := range want {
+		if got := g(msg.ID(id)); got != w {
+			t.Errorf("p%d in group %d, want %d", id, got, w)
+		}
+	}
+}
+
+func TestPartitionDelaysCrossTraffic(t *testing.T) {
+	p := Partition{GroupOf: Halves(2)}
+	r := rng()
+	in := p.Delay(0, 1, msg.Message{}, 0, r)
+	cross := p.Delay(0, 3, msg.Message{}, 0, r)
+	if in >= CrossDelay {
+		t.Errorf("in-group delay %v includes the cross penalty", in)
+	}
+	if cross < CrossDelay {
+		t.Errorf("cross delay %v below CrossDelay", cross)
+	}
+}
+
+func TestPartitionNilGroupIsTransparent(t *testing.T) {
+	p := Partition{}
+	if d := p.Delay(0, 5, msg.Message{}, 0, rng()); d >= CrossDelay {
+		t.Errorf("nil GroupOf delayed: %v", d)
+	}
+}
+
+func TestPartitionCustomBase(t *testing.T) {
+	p := Partition{GroupOf: Halves(2), Base: sched.Constant{D: 7}}
+	if d := p.Delay(0, 1, msg.Message{}, 0, rng()); d != 7 {
+		t.Errorf("base not used: %v", d)
+	}
+	if d := p.Delay(0, 3, msg.Message{}, 0, rng()); d != 7+CrossDelay {
+		t.Errorf("cross with base: %v", d)
+	}
+}
+
+func TestBridgeCoalitionTalksToBothSides(t *testing.T) {
+	b := Bridge{GroupOf: Overlap(2, 4)}
+	r := rng()
+	// Coalition (group 2) to either side: fast.
+	if d := b.Delay(2, 0, msg.Message{}, 0, r); d >= CrossDelay {
+		t.Errorf("coalition->S delayed: %v", d)
+	}
+	if d := b.Delay(3, 5, msg.Message{}, 0, r); d >= CrossDelay {
+		t.Errorf("coalition->T delayed: %v", d)
+	}
+	if d := b.Delay(0, 2, msg.Message{}, 0, r); d >= CrossDelay {
+		t.Errorf("S->coalition delayed: %v", d)
+	}
+	// S-only to T-only: delayed, both directions.
+	if d := b.Delay(0, 5, msg.Message{}, 0, r); d < CrossDelay {
+		t.Errorf("S->T not delayed: %v", d)
+	}
+	if d := b.Delay(5, 1, msg.Message{}, 0, r); d < CrossDelay {
+		t.Errorf("T->S not delayed: %v", d)
+	}
+}
+
+func TestBridgeNilGroupIsTransparent(t *testing.T) {
+	b := Bridge{}
+	if d := b.Delay(0, 5, msg.Message{}, 0, rng()); d >= CrossDelay {
+		t.Errorf("nil GroupOf delayed: %v", d)
+	}
+}

@@ -1,0 +1,104 @@
+package bivalence_test
+
+import (
+	"testing"
+
+	"resilient/internal/bivalence"
+	"resilient/internal/core"
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+	"resilient/internal/runtime"
+)
+
+func spawner() runtime.Spawner {
+	return func(ctx runtime.SpawnContext) (core.Machine, error) {
+		return bivalence.New(ctx.Config, ctx.Sink)
+	}
+}
+
+func run(t *testing.T, n, k int, inputs []msg.Value, dead []msg.ID, seed uint64) *runtime.Result {
+	t.Helper()
+	res, err := runtime.Run(runtime.Config{
+		N: n, K: k, Inputs: inputs,
+		Spawn:   spawner(),
+		Crashes: faults.InitiallyDead(dead...),
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllCorrectDecidesParity(t *testing.T) {
+	// With K=0 every process hears everyone, the graph is complete, and the
+	// decision is the parity of the inputs.
+	cases := []struct {
+		inputs []msg.Value
+		want   msg.Value
+	}{
+		{[]msg.Value{0, 0, 0, 0, 0}, 0},
+		{[]msg.Value{1, 0, 0, 0, 0}, 1},
+		{[]msg.Value{1, 1, 0, 0, 0}, 0},
+		{[]msg.Value{1, 1, 1, 1, 1}, 1},
+	}
+	for _, tc := range cases {
+		res := run(t, 5, 0, tc.inputs, nil, 1)
+		if !res.AllDecided || !res.Agreement {
+			t.Fatalf("inputs %v: not decided/agreed: %+v", tc.inputs, res)
+		}
+		if res.Value != tc.want {
+			t.Errorf("inputs %v: decided %d, want parity %d", tc.inputs, res.Value, tc.want)
+		}
+	}
+}
+
+func TestWeakBivalence(t *testing.T) {
+	// Both outcomes are reachable with all processes correct: flipping one
+	// input flips the decision.
+	a := run(t, 4, 0, []msg.Value{0, 0, 0, 0}, nil, 3)
+	b := run(t, 4, 0, []msg.Value{1, 0, 0, 0}, nil, 3)
+	if a.Value == b.Value {
+		t.Fatalf("flipping one input did not flip the decision: %d vs %d", a.Value, b.Value)
+	}
+}
+
+func TestInitialDeathPinsDecisionToZero(t *testing.T) {
+	// Any initial death prevents "G+ contains all the processes", so the
+	// decision is pinned to 0 regardless of inputs -- the weak-bivalence
+	// fixed decision of Section 5.
+	for seed := uint64(0); seed < 10; seed++ {
+		res := run(t, 6, 2, []msg.Value{1, 1, 1, 1, 1, 1}, []msg.ID{4, 5}, seed)
+		if !res.AllDecided || !res.Agreement {
+			t.Fatalf("seed %d: not decided/agreed: stall=%v decisions=%v", seed, res.Stalled, res.Decisions)
+		}
+		if res.Value != msg.V0 {
+			t.Errorf("seed %d: decided %d, want fixed 0 under faults", seed, res.Value)
+		}
+	}
+}
+
+func TestToleratesManyFaults(t *testing.T) {
+	// K = n-1: every process but one may be dead, far beyond the n/2 bound
+	// of strong-bivalence protocols -- the Section 5 separation.
+	n := 6
+	dead := []msg.ID{1, 2, 3, 4, 5}
+	res := run(t, n, n-1, []msg.Value{1, 0, 1, 0, 1, 0}, dead, 9)
+	if !res.AllDecided || !res.Agreement {
+		t.Fatalf("not decided/agreed: stall=%v decisions=%v", res.Stalled, res.Decisions)
+	}
+	if res.Value != msg.V0 {
+		t.Errorf("decided %d, want 0", res.Value)
+	}
+}
+
+func TestAgreementUnderPartialDeaths(t *testing.T) {
+	// Deaths below K: all survivors must agree (on 0 or on parity, but
+	// together).
+	for seed := uint64(0); seed < 15; seed++ {
+		res := run(t, 7, 3, []msg.Value{1, 0, 1, 1, 0, 0, 1}, []msg.ID{6}, seed)
+		if !res.AllDecided || !res.Agreement {
+			t.Fatalf("seed %d: stall=%v decisions=%v", seed, res.Stalled, res.Decisions)
+		}
+	}
+}

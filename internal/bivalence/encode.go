@@ -1,0 +1,101 @@
+package bivalence
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"resilient/internal/msg"
+)
+
+// Knowledge payload wire format (big-endian):
+//
+//	u16 rowCount
+//	per row:
+//	  u32 id
+//	  u8  flags (bit0 = hasInput, bit1 = hasRow)
+//	  u8  input
+//	  u16 neighborCount
+//	  u32 * neighborCount
+const (
+	flagHasInput = 0x01
+	flagHasRow   = 0x02
+)
+
+var errMalformed = errors.New("bivalence: malformed knowledge payload")
+
+func encodeRows(rows map[msg.ID]*row) []byte {
+	ids := make([]msg.ID, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	size := 2
+	for _, id := range ids {
+		size += 4 + 1 + 1 + 2 + 4*len(rows[id].neighbors)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
+	for _, id := range ids {
+		r := rows[id]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+		var flags byte
+		if r.hasInput {
+			flags |= flagHasInput
+		}
+		if r.hasRow {
+			flags |= flagHasRow
+		}
+		buf = append(buf, flags, byte(r.input))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.neighbors)))
+		for _, q := range r.neighbors {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(q))
+		}
+	}
+	return buf
+}
+
+func decodeRows(buf []byte) (map[msg.ID]*row, error) {
+	if len(buf) < 2 {
+		return nil, errMalformed
+	}
+	count := int(binary.BigEndian.Uint16(buf[:2]))
+	buf = buf[2:]
+	rows := make(map[msg.ID]*row, count)
+	for i := 0; i < count; i++ {
+		if len(buf) < 8 {
+			return nil, errMalformed
+		}
+		id := msg.ID(int32(binary.BigEndian.Uint32(buf[:4])))
+		flags := buf[4]
+		input := msg.Value(buf[5])
+		ncount := int(binary.BigEndian.Uint16(buf[6:8]))
+		buf = buf[8:]
+		if len(buf) < 4*ncount {
+			return nil, errMalformed
+		}
+		r := &row{
+			hasInput: flags&flagHasInput != 0,
+			hasRow:   flags&flagHasRow != 0,
+		}
+		if r.hasInput {
+			if !input.Valid() {
+				return nil, errMalformed
+			}
+			r.input = input
+		}
+		if ncount > 0 {
+			r.neighbors = make([]msg.ID, ncount)
+			for j := 0; j < ncount; j++ {
+				r.neighbors[j] = msg.ID(int32(binary.BigEndian.Uint32(buf[4*j : 4*j+4])))
+			}
+		}
+		buf = buf[4*ncount:]
+		rows[id] = r
+	}
+	if len(buf) != 0 {
+		return nil, errMalformed
+	}
+	return rows, nil
+}

@@ -1,0 +1,30 @@
+package bivalence_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/bivalence"
+	"resilient/internal/core"
+	"resilient/internal/machinetest"
+	"resilient/internal/msg"
+)
+
+// TestFuzzInvariants floods the Section 5 machine with hostile streams,
+// including malformed knowledge payloads.
+func TestFuzzInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xb1f0))
+		n := 3 + rng.IntN(6)
+		k := rng.IntN(n)
+		m, err := bivalence.New(core.Config{
+			N: n, K: k, Self: msg.ID(rng.IntN(n)), Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 2000}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package byzantine
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/malicious"
+	"resilient/internal/msg"
+)
+
+// fakeWorld is a WorldView with fixed counts.
+type fakeWorld struct {
+	zeros, ones int
+}
+
+func (w fakeWorld) N() int                           { return w.zeros + w.ones }
+func (w fakeWorld) K() int                           { return 1 }
+func (w fakeWorld) CorrectValueCounts() (int, int)   { return w.zeros, w.ones }
+func (w fakeWorld) CorrectDecidedCounts() (int, int) { return 0, 0 }
+
+func honest(t *testing.T, n, k int, self msg.ID, input msg.Value) core.Machine {
+	t.Helper()
+	m, err := malicious.New(core.Config{N: n, K: k, Self: self, Input: input}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func initialsOf(outs []core.Outbound) []msg.Message {
+	var res []msg.Message
+	for _, o := range outs {
+		if o.Msg.Kind == msg.KindInitial {
+			res = append(res, o.Msg)
+		}
+	}
+	return res
+}
+
+func TestSilent(t *testing.T) {
+	s := NewSilent(3)
+	if s.ID() != 3 || !s.Halted() {
+		t.Error("silent basics wrong")
+	}
+	if s.Start() != nil || s.OnMessage(msg.Initial(1, 0, msg.V1)) != nil {
+		t.Error("silent spoke")
+	}
+	if _, ok := s.Decided(); ok {
+		t.Error("silent decided")
+	}
+	if s.Phase() != 0 {
+		t.Error("silent phase")
+	}
+}
+
+func TestBalancerClaimsMinority(t *testing.T) {
+	// Ones lead -> balancer claims 0.
+	b := NewBalancer(honest(t, 4, 1, 0, msg.V1), fakeWorld{zeros: 1, ones: 3})
+	outs := b.Start()
+	inis := initialsOf(outs)
+	if len(inis) != 1 || inis[0].Value != msg.V0 {
+		t.Fatalf("balancer sent %+v, want value 0", inis)
+	}
+	// Zeros lead -> claims 1.
+	b2 := NewBalancer(honest(t, 4, 1, 0, msg.V0), fakeWorld{zeros: 3, ones: 1})
+	if inis := initialsOf(b2.Start()); len(inis) != 1 || inis[0].Value != msg.V1 {
+		t.Fatalf("balancer sent %+v, want value 1", inis)
+	}
+}
+
+func TestBalancerLeavesEchoesAlone(t *testing.T) {
+	b := NewBalancer(honest(t, 4, 1, 0, msg.V1), fakeWorld{zeros: 0, ones: 4})
+	b.Start()
+	outs := b.OnMessage(msg.Initial(2, 0, msg.V1))
+	if len(outs) != 1 || outs[0].Msg.Kind != msg.KindEcho || outs[0].Msg.Value != msg.V1 {
+		t.Fatalf("echo corrupted: %+v", outs)
+	}
+}
+
+func TestFixedLiar(t *testing.T) {
+	l := NewFixedLiar(honest(t, 4, 1, 2, msg.V1), msg.V0)
+	inis := initialsOf(l.Start())
+	if len(inis) != 1 || inis[0].Value != msg.V0 {
+		t.Fatalf("liar sent %+v", inis)
+	}
+}
+
+func TestFlipperDeterministicPerSeed(t *testing.T) {
+	vals := func(seed uint64) msg.Value {
+		f := NewFlipper(honest(t, 4, 1, 0, msg.V0), rand.New(rand.NewPCG(seed, 1)))
+		return initialsOf(f.Start())[0].Value
+	}
+	if vals(7) != vals(7) {
+		t.Error("same seed, different flip")
+	}
+}
+
+func TestEquivocatorSplitsBroadcast(t *testing.T) {
+	n := 6
+	e := NewEquivocator(honest(t, n, 1, 0, msg.V1), n)
+	outs := e.Start()
+	if len(outs) != n {
+		t.Fatalf("%d sends, want %d unicasts", len(outs), n)
+	}
+	for _, o := range outs {
+		if o.To == msg.Broadcast {
+			t.Fatal("broadcast not expanded")
+		}
+		want := msg.V1
+		if int(o.To) < n/2 {
+			want = msg.V0
+		}
+		if o.Msg.Value != want {
+			t.Errorf("recipient %d got %d, want %d", o.To, o.Msg.Value, want)
+		}
+	}
+}
+
+func TestTwoFacedSplitsAtBoundary(t *testing.T) {
+	n := 6
+	tf := NewTwoFaced(honest(t, n, 1, 0, msg.V1), n, 2)
+	outs := tf.Start()
+	if len(outs) != n {
+		t.Fatalf("%d sends", len(outs))
+	}
+	for _, o := range outs {
+		want := msg.V1
+		if o.To < 2 {
+			want = msg.V0
+		}
+		if o.Msg.Value != want {
+			t.Errorf("recipient %d got %d, want %d", o.To, o.Msg.Value, want)
+		}
+	}
+}
+
+func TestDoubleEchoerDuplicatesEchoes(t *testing.T) {
+	d := NewDoubleEchoer(honest(t, 4, 1, 0, msg.V0))
+	d.Start()
+	outs := d.OnMessage(msg.Initial(2, 0, msg.V1))
+	var echoes []msg.Message
+	for _, o := range outs {
+		if o.Msg.Kind == msg.KindEcho {
+			echoes = append(echoes, o.Msg)
+		}
+	}
+	if len(echoes) != 2 {
+		t.Fatalf("%d echoes, want 2", len(echoes))
+	}
+	if echoes[0].Value == echoes[1].Value {
+		t.Error("duplicate echo not conflicting")
+	}
+}
+
+func TestMuteStopsTalking(t *testing.T) {
+	inner := honest(t, 4, 1, 0, msg.V0)
+	m := NewMute(inner, 0) // mute from phase 0: never sends
+	if outs := m.Start(); outs != nil {
+		t.Fatalf("mute spoke: %+v", outs)
+	}
+	if outs := m.OnMessage(msg.Initial(1, 0, msg.V1)); outs != nil {
+		t.Fatalf("mute echoed: %+v", outs)
+	}
+}
+
+func TestMutatedDelegates(t *testing.T) {
+	inner := honest(t, 4, 1, 2, msg.V1)
+	m := NewMutated(inner, nil)
+	if m.ID() != 2 || m.Phase() != 0 || m.Halted() {
+		t.Error("delegation wrong")
+	}
+	if outs := m.Start(); len(outs) != 1 {
+		t.Error("nil rewrite should pass through")
+	}
+}
+
+func TestWildcardMessagesNotRewritten(t *testing.T) {
+	// Strategies leave post-decision wildcard messages intact; verify via
+	// FixedLiar by pushing an honest machine to decision.
+	inner := honest(t, 4, 1, 0, msg.V1)
+	liar := NewFixedLiar(inner, msg.V0)
+	liar.Start()
+	// Drive the inner machine to decide 1: accept 3 subjects with value 1.
+	var outs []core.Outbound
+	for q := 0; q < 3; q++ {
+		for s := 0; s < 3; s++ { // threshold (4+1)/2+1 = 3
+			outs = append(outs, liar.OnMessage(msg.Echo(msg.ID(s), msg.ID(q), 0, msg.V1))...)
+		}
+	}
+	var sawWild bool
+	for _, o := range outs {
+		if o.Msg.Phase.IsWildcard() {
+			sawWild = true
+			if o.Msg.Value != msg.V1 {
+				t.Errorf("wildcard value rewritten to %d", o.Msg.Value)
+			}
+		}
+	}
+	if !sawWild {
+		t.Fatal("no wildcard messages emitted after decision")
+	}
+}
+
+func TestImpersonatorForgesFullHistories(t *testing.T) {
+	n := 4
+	im := NewImpersonatorMachine(3, n, 2)
+	outs := im.Start()
+	// Per recipient: n initials + n*n echoes.
+	want := n * (n + n*n)
+	if len(outs) != want {
+		t.Fatalf("%d sends, want %d", len(outs), want)
+	}
+	for _, o := range outs {
+		if o.To == msg.Broadcast {
+			t.Fatal("impersonator must unicast")
+		}
+		wantVal := msg.V1
+		if o.To < 2 {
+			wantVal = msg.V0
+		}
+		if o.Msg.Value != wantVal {
+			t.Fatalf("recipient %d got value %d", o.To, o.Msg.Value)
+		}
+		switch o.Msg.Kind {
+		case msg.KindInitial:
+			if o.Msg.From != o.Msg.Subject {
+				t.Fatal("forged initial with mismatched subject")
+			}
+		case msg.KindEcho:
+		default:
+			t.Fatalf("unexpected kind %v", o.Msg.Kind)
+		}
+	}
+	// Fire-and-forget: started once, then silent and halted.
+	if im.Start() != nil || !im.Halted() {
+		t.Fatal("impersonator restarted or kept running")
+	}
+	if im.OnMessage(msg.Initial(0, 0, msg.V0)) != nil {
+		t.Fatal("impersonator responded to input")
+	}
+}

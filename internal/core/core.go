@@ -1,0 +1,113 @@
+// Package core defines the protocol-machine abstraction shared by every
+// consensus protocol in this repository.
+//
+// A protocol is written as a pure, single-threaded state machine (Machine):
+// it is started once, then fed one message at a time, and each step returns
+// the messages it wants sent. Machines contain no goroutines, no channels,
+// and no clocks -- all asynchrony lives in the execution engines
+// (internal/runtime for the deterministic discrete-event simulator,
+// internal/livenet for the goroutine/TCP engine). This mirrors the paper's
+// model, where an atomic step is "receive a message, perform a local
+// computation, send a finite set of messages" (Section 2.1).
+package core
+
+import (
+	"fmt"
+
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+)
+
+// Outbound is one send request produced by a machine step. To may be
+// msg.Broadcast to address all n processes (including the sender itself).
+type Outbound struct {
+	To  msg.ID
+	Msg msg.Message
+}
+
+// ToAll returns a broadcast outbound for m.
+func ToAll(m msg.Message) Outbound {
+	return Outbound{To: msg.Broadcast, Msg: m}
+}
+
+// To returns a unicast outbound for m.
+func To(dst msg.ID, m msg.Message) Outbound {
+	return Outbound{To: dst, Msg: m}
+}
+
+// Machine is a consensus protocol instance at one process.
+//
+// The engine contract:
+//   - Start is called exactly once, before any OnMessage.
+//   - OnMessage is called once per delivered message, never concurrently.
+//   - After Halted returns true the engine stops delivering messages.
+//   - Decided may flip to true at most once and the value never changes
+//     afterwards (the paper's write-once decision variable d_p).
+type Machine interface {
+	// ID returns the process identifier.
+	ID() msg.ID
+	// Start performs the first protocol step and returns its sends.
+	Start() []Outbound
+	// OnMessage consumes one delivered message and returns resulting sends.
+	OnMessage(m msg.Message) []Outbound
+	// Decided reports the decision value, if the process has decided.
+	Decided() (msg.Value, bool)
+	// Halted reports whether the process has completed its protocol and
+	// will never send again.
+	Halted() bool
+	// Phase returns the current phase number, for metrics and tracing.
+	Phase() msg.Phase
+}
+
+// ValueReporter is implemented by machines whose current estimate is
+// observable. The omniscient Byzantine strategies of Section 4 (the
+// "balancing" adversary) and the experiment harness use it.
+type ValueReporter interface {
+	CurrentValue() msg.Value
+}
+
+// Config carries the common protocol parameters.
+type Config struct {
+	// N is the total number of processes.
+	N int
+	// K is the number of faults the protocol must tolerate (the paper's k).
+	K int
+	// Self is this process's identifier in 0..N-1.
+	Self msg.ID
+	// Input is the process's initial value i_p.
+	Input msg.Value
+}
+
+// Validate checks the configuration against the given fault model's
+// resilience bound.
+func (c Config) Validate(model quorum.FaultModel) error {
+	if err := quorum.Check(c.N, c.K, model); err != nil {
+		return err
+	}
+	if c.Self < 0 || int(c.Self) >= c.N {
+		return fmt.Errorf("core: self id %d outside 0..%d", c.Self, c.N-1)
+	}
+	if !c.Input.Valid() {
+		return fmt.Errorf("core: invalid input value %d", c.Input)
+	}
+	return nil
+}
+
+// WorldView gives omniscient read access to the global simulation state.
+// Only adversary strategies receive one; correct protocol machines never see
+// it. It corresponds to the paper's worst-case assumption that malicious
+// processes may coordinate "according to some malevolent plan" with full
+// knowledge of the system (Section 4: "they will try to balance the number
+// of 1 and 0 messages in the system").
+type WorldView interface {
+	// N returns the number of processes.
+	N() int
+	// K returns the fault budget.
+	K() int
+	// CorrectValueCounts returns how many correct processes currently hold
+	// value 0 and value 1 respectively.
+	CorrectValueCounts() (zeros, ones int)
+	// CorrectDecidedCounts returns how many correct processes have decided
+	// 0 and 1 respectively.
+	CorrectDecidedCounts() (zeros, ones int)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{N: 7, K: 3, Self: 2, Input: msg.V1}
+	if err := good.Validate(quorum.FailStop); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []struct {
+		cfg   Config
+		model quorum.FaultModel
+	}{
+		{Config{N: 7, K: 4, Self: 0, Input: msg.V0}, quorum.FailStop},
+		{Config{N: 7, K: 3, Self: 0, Input: msg.V0}, quorum.Malicious},
+		{Config{N: 7, K: 3, Self: 7, Input: msg.V0}, quorum.FailStop},
+		{Config{N: 7, K: 3, Self: -1, Input: msg.V0}, quorum.FailStop},
+		{Config{N: 7, K: 3, Self: 0, Input: msg.Value(5)}, quorum.FailStop},
+		{Config{N: 0, K: 0, Self: 0, Input: msg.V0}, quorum.FailStop},
+	}
+	for i, b := range bad {
+		if err := b.cfg.Validate(b.model); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, b.cfg)
+		}
+	}
+}
+
+func TestOutboundHelpers(t *testing.T) {
+	m := msg.Val(1, 2, msg.V1)
+	all := ToAll(m)
+	if all.To != msg.Broadcast {
+		t.Errorf("ToAll target %d", all.To)
+	}
+	one := To(4, m)
+	if one.To != 4 {
+		t.Errorf("To target %d", one.To)
+	}
+	if all.Msg.Value != m.Value || one.Msg.Phase != m.Phase {
+		t.Error("message not carried")
+	}
+}

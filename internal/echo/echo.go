@@ -1,0 +1,144 @@
+// Package echo implements the authenticated echo-broadcast acceptance rule
+// at the heart of the Figure-2 malicious-case protocol -- the mechanism that
+// later evolved into Bracha's reliable broadcast.
+//
+// A process p "accepts a message with value i from process q [at phase t] if
+// it receives more than (n+k)/2 messages of the form (echo, q, i, t)"
+// (Section 3.3). Each sender's echo is counted at most once per
+// (subject, phase): the pseudocode admits only "the first message received
+// from the sender with these values of msg.type, msg.from and msg.phaseno",
+// which is exactly what makes equivocation by malicious senders harmless --
+// a second, contradictory echo from the same sender is ignored, so no two
+// correct processes can accept different values from the same subject in the
+// same phase (the consistency claim of Theorem 4).
+package echo
+
+import (
+	"fmt"
+
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+)
+
+// Accept describes the acceptance of subject's phase-p message with value v.
+type Accept struct {
+	Subject msg.ID
+	Phase   msg.Phase
+	Value   msg.Value
+}
+
+// String renders the acceptance.
+func (a Accept) String() string {
+	return fmt.Sprintf("accept(p%d, phase=%s, v=%d)", a.Subject, a.Phase, a.Value)
+}
+
+type countKey struct {
+	subject msg.ID
+	phase   msg.Phase
+}
+
+type senderKey struct {
+	sender  msg.ID
+	subject msg.ID
+	phase   msg.Phase
+}
+
+// Tracker counts echoes and reports acceptances. It is not safe for
+// concurrent use.
+type Tracker struct {
+	n, k     int
+	counts   map[countKey]*[2]int
+	seen     map[senderKey]bool
+	accepted map[countKey]bool
+	low      msg.Phase // phases below this have been pruned
+}
+
+// NewTracker returns an empty tracker for an n-process system tolerating k
+// malicious processes.
+func NewTracker(n, k int) *Tracker {
+	return &Tracker{
+		n:        n,
+		k:        k,
+		counts:   make(map[countKey]*[2]int),
+		seen:     make(map[senderKey]bool),
+		accepted: make(map[countKey]bool),
+	}
+}
+
+// Threshold returns the number of matching echoes at which acceptance
+// happens: the least integer strictly greater than (n+k)/2.
+func (t *Tracker) Threshold() int { return quorum.EchoAcceptCount(t.n, t.k) }
+
+// Observe registers an echo from sender asserting that subject initiated
+// value v in phase p. It returns an Accept exactly once per (subject, phase):
+// on the echo that first pushes the count strictly above (n+k)/2.
+//
+// Duplicate echoes from the same sender for the same (subject, phase) are
+// ignored regardless of value, matching the pseudocode's first-message rule.
+// Echoes for pruned phases are ignored.
+func (t *Tracker) Observe(sender, subject msg.ID, p msg.Phase, v msg.Value) (Accept, bool) {
+	if p < t.low || !v.Valid() {
+		return Accept{}, false
+	}
+	sk := senderKey{sender: sender, subject: subject, phase: p}
+	if t.seen[sk] {
+		return Accept{}, false
+	}
+	t.seen[sk] = true
+	ck := countKey{subject: subject, phase: p}
+	c := t.counts[ck]
+	if c == nil {
+		c = new([2]int)
+		t.counts[ck] = c
+	}
+	c[v]++
+	if !t.accepted[ck] && quorum.ExceedsHalfNPlusK(c[v], t.n, t.k) {
+		t.accepted[ck] = true
+		return Accept{Subject: subject, Phase: p, Value: v}, true
+	}
+	return Accept{}, false
+}
+
+// Seen reports whether an echo from sender for (subject, phase) was already
+// counted.
+func (t *Tracker) Seen(sender, subject msg.ID, p msg.Phase) bool {
+	return t.seen[senderKey{sender: sender, subject: subject, phase: p}]
+}
+
+// Count returns the current echo tallies for (subject, phase).
+func (t *Tracker) Count(subject msg.ID, p msg.Phase) (zeros, ones int) {
+	if c := t.counts[countKey{subject: subject, phase: p}]; c != nil {
+		return c[0], c[1]
+	}
+	return 0, 0
+}
+
+// Accepted reports whether (subject, phase) has already been accepted.
+func (t *Tracker) Accepted(subject msg.ID, p msg.Phase) bool {
+	return t.accepted[countKey{subject: subject, phase: p}]
+}
+
+// Prune discards all bookkeeping for phases strictly below p and ignores
+// future echoes for those phases. Wildcard state is kept by the caller, not
+// the tracker, so pruning never loses post-decision messages.
+func (t *Tracker) Prune(p msg.Phase) {
+	if p <= t.low {
+		return
+	}
+	for k := range t.counts {
+		if k.phase < p {
+			delete(t.counts, k)
+		}
+	}
+	for k := range t.seen {
+		if k.phase < p {
+			delete(t.seen, k)
+		}
+	}
+	for k := range t.accepted {
+		if k.phase < p {
+			delete(t.accepted, k)
+		}
+	}
+	t.low = p
+}

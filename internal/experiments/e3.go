@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+	"resilient/internal/runtime"
+	"resilient/internal/stats"
+	"resilient/internal/sweep"
+)
+
+// E3 verifies Theorem 2: the Figure 1 protocol is a k-resilient consensus
+// protocol for the fail-stop case, for every k up to floor((n-1)/2). Each
+// row runs many seeded executions under a crash pattern and reports the
+// fraction that terminated, agreed, and satisfied validity, plus the mean
+// phases to the last decision. All three fractions must be 100%.
+func E3(p Params) ([]*Table, error) {
+	type config struct {
+		n, k    int
+		pattern string
+	}
+	var configs []config
+	sizes := [][2]int{{5, 2}, {7, 3}, {9, 4}, {11, 5}}
+	if p.Quick {
+		sizes = [][2]int{{5, 2}, {7, 3}}
+	}
+	for _, nk := range sizes {
+		for _, pat := range []string{"none", "initially-dead", "random"} {
+			configs = append(configs, config{n: nk[0], k: nk[1], pattern: pat})
+		}
+	}
+
+	t := &Table{
+		ID:     "E3",
+		Title:  "Figure 1 (fail-stop) resilience sweep at the floor((n-1)/2) bound",
+		Source: "Theorem 2",
+		Header: []string{"n", "k", "crash pattern", "terminated", "agreement", "validity", "phases ±95%", "mean msgs"},
+	}
+	for row, cfg := range configs {
+		trials := p.trials()
+		type trial struct {
+			term, agree, valid bool
+			phases, msgs       float64
+		}
+		results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+			seed := p.seedFor(row, tr)
+			plan := crashPlan(cfg.pattern, cfg.n, cfg.k, seed)
+			inputs := randomInputs(cfg.n, seed)
+			res, err := runtime.Run(runtime.Config{
+				N: cfg.n, K: cfg.k, Inputs: inputs,
+				Spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
+					return failstop.New(ctx.Config, ctx.Sink)
+				},
+				Crashes: plan,
+				Seed:    seed,
+			})
+			if err != nil {
+				return trial{}, fmt.Errorf("E3 row %d trial %d: %w", row, tr, err)
+			}
+			return trial{
+				term:   res.AllDecided && res.Stalled == runtime.NotStalled,
+				agree:  res.Agreement,
+				valid:  validityHolds(inputs, plan, res),
+				phases: float64(maxDecisionPhase(res)),
+				msgs:   float64(res.MessagesSent),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var phases, msgs stats.Accumulator
+		term, agree, valid := 0, 0, 0
+		for _, r := range results {
+			if r.term {
+				term++
+			}
+			if r.agree {
+				agree++
+			}
+			if r.valid {
+				valid++
+			}
+			phases.Add(r.phases)
+			msgs.Add(r.msgs)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", cfg.n), fmt.Sprintf("%d", cfg.k), cfg.pattern,
+			pct(float64(term)/float64(trials)),
+			pct(float64(agree)/float64(trials)),
+			pct(float64(valid)/float64(trials)),
+			fmt.Sprintf("%s ± %s", f2(phases.Mean()), f2(phases.CI95())),
+			f2(msgs.Mean()),
+		)
+	}
+	t.AddNote("paper: Figure 1 is k-resilient for k <= floor((n-1)/2); terminated/agreement/validity must all be 100%%")
+	t.AddNote("validity is checked in the weak sense the paper proves: unanimous inputs among all processes force that decision")
+	return []*Table{t}, nil
+}
+
+// crashPlan builds the crash pattern for one trial.
+func crashPlan(pattern string, n, k int, seed uint64) faults.Plan {
+	switch pattern {
+	case "none":
+		return faults.None()
+	case "initially-dead":
+		ids := make([]msg.ID, k)
+		for i := range ids {
+			ids[i] = msg.ID(n - 1 - i)
+		}
+		return faults.InitiallyDead(ids...)
+	default: // "random"
+		rng := rand.New(rand.NewPCG(seed, 0xc0ffee))
+		return faults.Random(rng, n, k, 4)
+	}
+}
+
+func randomInputs(n int, seed uint64) []msg.Value {
+	rng := rand.New(rand.NewPCG(seed, 0xbeef))
+	in := make([]msg.Value, n)
+	for i := range in {
+		in[i] = msg.Value(rng.IntN(2))
+	}
+	return in
+}
+
+// validityHolds checks weak validity: if every process (faulty ones
+// included -- they may die but never lie) started with the same input v,
+// any decision must equal v.
+func validityHolds(inputs []msg.Value, _ faults.Plan, res *runtime.Result) bool {
+	unanimous := true
+	for _, v := range inputs[1:] {
+		if v != inputs[0] {
+			unanimous = false
+			break
+		}
+	}
+	if !unanimous {
+		return true
+	}
+	for _, d := range res.Decisions {
+		if d != inputs[0] {
+			return false
+		}
+	}
+	return true
+}

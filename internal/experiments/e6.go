@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/malicious"
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+	"resilient/internal/runtime"
+	"resilient/internal/stats"
+	"resilient/internal/sweep"
+)
+
+// E6 reproduces the "approximation of the majority" notes closing Sections
+// 2.3 and 3.3: both protocols decide a value that tracks the majority of
+// the initial inputs, and when strictly more than (n+k)/2 processes share
+// an input the decision is that value within three phases (Figure 1) or two
+// phases (Figure 2).
+func E6(p Params) ([]*Table, error) {
+	tables := make([]*Table, 0, 2)
+	type proto struct {
+		id, title string
+		n, k      int
+		phaseCap  int // the paper's phase bound for supermajority inputs
+		spawn     runtime.Spawner
+	}
+	protos := []proto{
+		{
+			id: "E6a", title: "Figure 1: decision vs initial 1-count", n: 9, k: 4, phaseCap: 3,
+			spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
+				return failstop.New(ctx.Config, ctx.Sink)
+			},
+		},
+		{
+			id: "E6b", title: "Figure 2: decision vs initial 1-count", n: 10, k: 3, phaseCap: 2,
+			spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
+				return malicious.New(ctx.Config, ctx.Sink)
+			},
+		},
+	}
+	for pi, pr := range protos {
+		t := &Table{
+			ID:     pr.id,
+			Title:  fmt.Sprintf("%s (n=%d, k=%d, no faults)", pr.title, pr.n, pr.k),
+			Source: "Sections 2.3 and 3.3 closing notes",
+			Header: []string{"initial 1s", "P(decide 1)", "phases ±95%", "max phases", "supermajority"},
+		}
+		superCut := quorum.SupermajorityInput(pr.n, pr.k)
+		ones := []int{0, 2, pr.n / 2, pr.n - 2, pr.n}
+		if !p.Quick {
+			ones = nil
+			for m := 0; m <= pr.n; m++ {
+				ones = append(ones, m)
+			}
+		}
+		violations := 0
+		for _, m := range ones {
+			trials := p.trials()
+			type trial struct {
+				one    bool
+				phases int
+			}
+			results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+				seed := p.seedFor(pi*100+m, tr)
+				inputs := make([]msg.Value, pr.n)
+				for i := 0; i < m; i++ {
+					inputs[i] = msg.V1
+				}
+				res, err := runtime.Run(runtime.Config{
+					N: pr.n, K: pr.k, Inputs: inputs,
+					Spawn: pr.spawn, Seed: seed,
+				})
+				if err != nil {
+					return trial{}, fmt.Errorf("%s m=%d trial %d: %w", pr.id, m, tr, err)
+				}
+				if !res.AllDecided || !res.Agreement {
+					return trial{}, fmt.Errorf("%s m=%d trial %d: run failed (%v)", pr.id, m, tr, res.Stalled)
+				}
+				return trial{one: res.Value == msg.V1, phases: maxDecisionPhase(res)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var phases stats.Accumulator
+			decide1 := 0
+			maxPhases := 0
+			for _, r := range results {
+				if r.one {
+					decide1++
+				}
+				phases.Add(float64(r.phases))
+				if r.phases > maxPhases {
+					maxPhases = r.phases
+				}
+			}
+			super := ""
+			isSuper := m >= superCut || pr.n-m >= superCut
+			if isSuper {
+				super = fmt.Sprintf("yes (cap %d)", pr.phaseCap)
+				if maxPhases > pr.phaseCap {
+					violations++
+					super += " VIOLATED"
+				}
+			}
+			t.AddRow(
+				fmt.Sprintf("%d/%d", m, pr.n),
+				pct(float64(decide1)/float64(trials)),
+				fmt.Sprintf("%s ± %s", f2(phases.Mean()), f2(phases.CI95())),
+				fmt.Sprintf("%d", maxPhases),
+				super,
+			)
+		}
+		t.AddNote("P(decide 1) must rise monotonically (in distribution) with the initial 1-count: the decision 'is still likely to be equal to the majority of the initial input values'")
+		if violations == 0 {
+			t.AddNote(fmt.Sprintf("supermajority inputs (> (n+k)/2 = %d equal values) always decided within %d phases, as the paper claims", superCut-1, pr.phaseCap))
+		} else {
+			t.AddNote(fmt.Sprintf("UNEXPECTED: %d supermajority rows exceeded the paper's %d-phase cap", violations, pr.phaseCap))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

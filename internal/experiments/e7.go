@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resilient/internal/msg"
+	"resilient/internal/runtime"
+	"resilient/internal/stats"
+	"resilient/internal/sweep"
+)
+
+// E7 verifies the Section 3.3 note: "if k < n/5, once a correct process
+// decides, all the other processes also decide within one phase." We run
+// Figure 2 with k Byzantine balancers in both regimes -- k < n/5 and
+// n/5 <= k <= (n-1)/3 -- and measure the spread between the first and last
+// correct decision phases.
+func E7(p Params) ([]*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Figure 2 decision-phase spread: k < n/5 propagates within one phase",
+		Source: "Section 3.3 closing note",
+		Header: []string{"n", "k", "regime", "mean spread", "max spread", "spread <= 1"},
+	}
+	configs := []struct {
+		n, k int
+	}{
+		{11, 2}, // 5k = 10 < 11: fast regime
+		{16, 3}, // 5k = 15 < 16: fast regime
+		{10, 3}, // 5k = 15 >= 10: slow regime allowed to exceed 1
+	}
+	if p.Quick {
+		configs = configs[:2]
+	}
+	for row, cfg := range configs {
+		trials := p.trials()
+		spreads, err := sweep.Run(trials, 0, func(tr int) (int, error) {
+			seed := p.seedFor(row, tr)
+			inputs := randomInputs(cfg.n, seed)
+			byz := make(map[msg.ID]bool, cfg.k)
+			for i := 0; i < cfg.k; i++ {
+				byz[msg.ID(cfg.n-1-i)] = true
+			}
+			res, err := runtime.Run(runtime.Config{
+				N: cfg.n, K: cfg.k, Inputs: inputs,
+				Spawn:     byzSpawner("balancer"),
+				Byzantine: byz,
+				Seed:      seed,
+				MaxEvents: 50_000_000,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("E7 n=%d k=%d trial %d: %w", cfg.n, cfg.k, tr, err)
+			}
+			if !res.AllDecided {
+				return 0, fmt.Errorf("E7 n=%d k=%d trial %d: stalled (%v)", cfg.n, cfg.k, tr, res.Stalled)
+			}
+			return phaseSpread(res), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var spreadAcc stats.Accumulator
+		maxSpread := 0
+		for _, s := range spreads {
+			spreadAcc.Add(float64(s))
+			if s > maxSpread {
+				maxSpread = s
+			}
+		}
+		regime := "k < n/5 (fast)"
+		if 5*cfg.k >= cfg.n {
+			regime = "k >= n/5"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", cfg.n), fmt.Sprintf("%d", cfg.k), regime,
+			f2(spreadAcc.Mean()), fmt.Sprintf("%d", maxSpread),
+			fmt.Sprintf("%v", maxSpread <= 1),
+		)
+	}
+	t.AddNote("paper: with k < n/5, once one correct process decides all others decide within one phase -- the fast-regime rows must show max spread <= 1")
+	return []*Table{t}, nil
+}
+
+func phaseSpread(res *runtime.Result) int {
+	first := true
+	lo, hi := 0, 0
+	for _, ph := range res.DecisionPhase {
+		v := int(ph)
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resilient/internal/benor"
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/quorum"
+	"resilient/internal/runtime"
+	"resilient/internal/stats"
+	"resilient/internal/sweep"
+)
+
+// E8 reproduces the Section 6 comparison with [BenO83]: Ben-Or's protocol
+// puts the randomness in the processes (a local coin) and pays an expected
+// termination time that grows exponentially with n when k = Theta(n),
+// whereas the Bracha-Toueg protocols lean on the message system's
+// randomness and stay flat. Both protocols run in the same engine with the
+// same fault budget k = floor((n-1)/2) and random inputs.
+func E8(p Params) ([]*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Ben-Or [BenO83] vs Figure 1: rounds/phases to full decision, k = floor((n-1)/2)",
+		Source: "Section 6 (and [BenO83])",
+		Header: []string{"n", "k", "Ben-Or rounds ±95%", "Ben-Or max", "Fig 1 phases ±95%", "Fig 1 max"},
+	}
+	sizes := []int{5, 7, 9, 11, 13}
+	if p.Quick {
+		sizes = []int{5, 7}
+	}
+	var benorMeans []float64
+	for row, n := range sizes {
+		k := quorum.MaxFaults(n, quorum.FailStop)
+		trials := p.trials()
+		if trials > 150 {
+			trials = 150 // Ben-Or's exponential tail dominates runtime
+		}
+		type trial struct {
+			rounds, phases int
+		}
+		results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+			seed := p.seedFor(row, tr)
+			inputs := randomInputs(n, seed)
+			resB, err := runtime.Run(runtime.Config{
+				N: n, K: k, Inputs: inputs,
+				Spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
+					return benor.New(ctx.Config, benor.Crash, ctx.RNG, ctx.Sink)
+				},
+				Seed:      seed,
+				MaxEvents: 50_000_000,
+			})
+			if err != nil {
+				return trial{}, fmt.Errorf("E8 benor n=%d trial %d: %w", n, tr, err)
+			}
+			if !resB.AllDecided {
+				return trial{}, fmt.Errorf("E8 benor n=%d trial %d: stalled (%v)", n, tr, resB.Stalled)
+			}
+			resF, err := runtime.Run(runtime.Config{
+				N: n, K: k, Inputs: inputs,
+				Spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
+					return failstop.New(ctx.Config, ctx.Sink)
+				},
+				Seed: seed,
+			})
+			if err != nil {
+				return trial{}, fmt.Errorf("E8 fig1 n=%d trial %d: %w", n, tr, err)
+			}
+			if !resF.AllDecided {
+				return trial{}, fmt.Errorf("E8 fig1 n=%d trial %d: stalled (%v)", n, tr, resF.Stalled)
+			}
+			return trial{rounds: maxDecisionPhase(resB), phases: maxDecisionPhase(resF)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var bo, f1 stats.Accumulator
+		boMax, f1Max := 0, 0
+		for _, r := range results {
+			bo.Add(float64(r.rounds))
+			if r.rounds > boMax {
+				boMax = r.rounds
+			}
+			f1.Add(float64(r.phases))
+			if r.phases > f1Max {
+				f1Max = r.phases
+			}
+		}
+		benorMeans = append(benorMeans, bo.Mean())
+		t.AddRow(
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+			fmt.Sprintf("%s ± %s", f2(bo.Mean()), f2(bo.CI95())),
+			fmt.Sprintf("%d", boMax),
+			fmt.Sprintf("%s ± %s", f2(f1.Mean()), f2(f1.CI95())),
+			fmt.Sprintf("%d", f1Max),
+		)
+	}
+	growing := len(benorMeans) >= 2 && benorMeans[len(benorMeans)-1] > benorMeans[0]
+	t.AddNote(fmt.Sprintf("paper: Ben-Or's expected time is exponential for k = Theta(n) while the message-system-randomized protocols stay flat; Ben-Or column growing: %v", growing))
+	t.AddNote("resilience: Ben-Or's malicious variant needs 5k < n, Figure 2 only 3k < n -- the paper's other advantage")
+	return []*Table{t}, nil
+}

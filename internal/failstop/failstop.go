@@ -1,0 +1,277 @@
+// Package failstop implements the k-resilient consensus protocol for the
+// fail-stop case -- Figure 1 of Bracha & Toueg, "Resilient Consensus
+// Protocols" (PODC 1983) -- for any k <= floor((n-1)/2).
+//
+// Protocol sketch (Figure 1). Each process repeatedly runs phases. In a
+// phase it broadcasts its state (phaseno, value, cardinality) and waits for
+// n-k messages of the current phase. A received message whose cardinality
+// exceeds n/2 is a *witness* for its value. At the end of the phase the
+// process adopts the witnessed value if any witness arrived (the paper
+// proves at most one value can be witnessed), otherwise the value with the
+// larger message set; its new cardinality is the size of that message set.
+// It decides value i upon counting strictly more than k witnesses for i, and
+// then sends two final rounds of (phase, i, n-k) messages -- enough witnesses
+// "in the message system to force the rest of the processes to reach the
+// same decision" -- and halts.
+//
+// Messages from a future phase are buffered and replayed when the phase is
+// reached (the paper re-enqueues them with send(p, msg)); messages from past
+// phases are discarded, exactly as in the pseudocode.
+package failstop
+
+import (
+	"fmt"
+	"sort"
+
+	"resilient/internal/core"
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+	"resilient/internal/trace"
+)
+
+// Machine is a Figure-1 protocol instance at one process. It implements
+// core.Machine and is not safe for concurrent use (engines serialize steps).
+type Machine struct {
+	cfg  core.Config
+	sink trace.Sink
+
+	value       msg.Value
+	cardinality int
+	phase       msg.Phase
+
+	msgCount [2]int
+	witCount [2]int
+	pending  map[msg.Phase][]msg.Message
+
+	started  bool
+	decided  bool
+	decision msg.Value
+	halted   bool
+}
+
+var (
+	_ core.Machine       = (*Machine)(nil)
+	_ core.ValueReporter = (*Machine)(nil)
+)
+
+// New returns a Figure-1 machine for the given configuration. sink may be
+// nil to disable tracing.
+func New(cfg core.Config, sink trace.Sink) (*Machine, error) {
+	if err := cfg.Validate(quorum.FailStop); err != nil {
+		return nil, fmt.Errorf("failstop: %w", err)
+	}
+	return newUnchecked(cfg, sink), nil
+}
+
+// NewUnsafe returns a machine without validating (n, k) against the
+// resilience bound. It exists solely for the lower-bound experiments that
+// deliberately configure k beyond floor((n-1)/2).
+func NewUnsafe(cfg core.Config, sink trace.Sink) *Machine {
+	return newUnchecked(cfg, sink)
+}
+
+func newUnchecked(cfg core.Config, sink trace.Sink) *Machine {
+	if sink == nil {
+		sink = trace.Nop{}
+	}
+	return &Machine{
+		cfg:         cfg,
+		sink:        sink,
+		value:       cfg.Input,
+		cardinality: 1,
+		pending:     make(map[msg.Phase][]msg.Message),
+	}
+}
+
+// ID implements core.Machine.
+func (m *Machine) ID() msg.ID { return m.cfg.Self }
+
+// Phase implements core.Machine.
+func (m *Machine) Phase() msg.Phase { return m.phase }
+
+// Decided implements core.Machine.
+func (m *Machine) Decided() (msg.Value, bool) { return m.decision, m.decided }
+
+// Halted implements core.Machine.
+func (m *Machine) Halted() bool { return m.halted }
+
+// CurrentValue implements core.ValueReporter.
+func (m *Machine) CurrentValue() msg.Value { return m.value }
+
+// Cardinality exposes the process's current cardinality variable, for tests.
+func (m *Machine) Cardinality() int { return m.cardinality }
+
+// Start broadcasts the phase-0 state message.
+func (m *Machine) Start() []core.Outbound {
+	if m.started {
+		return nil
+	}
+	m.started = true
+	return []core.Outbound{core.ToAll(msg.State(m.cfg.Self, m.phase, m.value, m.cardinality))}
+}
+
+// OnMessage consumes one delivered message.
+func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
+	if m.halted || !m.started {
+		return nil
+	}
+	if in.Kind != msg.KindState || !in.Value.Valid() {
+		return nil // foreign or malformed; the fail-stop model never lies, so just drop
+	}
+	var out []core.Outbound
+	queue := []msg.Message{in}
+	for len(queue) > 0 && !m.halted {
+		cur := queue[0]
+		queue = queue[1:]
+		switch {
+		case cur.Phase < m.phase:
+			continue // stale: the pseudocode silently discards these
+		case cur.Phase > m.phase:
+			m.pending[cur.Phase] = append(m.pending[cur.Phase], cur)
+			continue
+		}
+		m.msgCount[cur.Value]++
+		if quorum.ExceedsHalf(int(cur.Cardinality), m.cfg.N) {
+			m.witCount[cur.Value]++
+			m.sink.Record(trace.Event{
+				Kind: trace.EventWitness, Process: m.cfg.Self,
+				Phase: m.phase, Value: cur.Value,
+			})
+		}
+		if m.msgCount[0]+m.msgCount[1] == quorum.WaitCount(m.cfg.N, m.cfg.K) {
+			out = append(out, m.endPhase()...)
+			if !m.halted {
+				if buf := m.pending[m.phase]; len(buf) > 0 {
+					queue = append(queue, buf...)
+					delete(m.pending, m.phase)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// endPhase performs the bottom half of the Figure-1 loop body: adopt the new
+// value and cardinality, advance the phase, then either decide (and send the
+// two final witness rounds) or broadcast the next state message.
+func (m *Machine) endPhase() []core.Outbound {
+	// "if there is i such that witness_count(i) > 0 then value := i".
+	// The paper proves (consistency claim, Theorem 2) that within the fault
+	// bound at most one value is ever witnessed; if both appear -- possible
+	// only when the bound is deliberately violated -- prefer the better
+	// supported value so behaviour stays deterministic.
+	switch {
+	case m.witCount[0] > 0 && m.witCount[1] > 0:
+		if m.witCount[1] > m.witCount[0] ||
+			(m.witCount[1] == m.witCount[0] && m.msgCount[1] > m.msgCount[0]) {
+			m.value = msg.V1
+		} else {
+			m.value = msg.V0
+		}
+	case m.witCount[0] > 0:
+		m.value = msg.V0
+	case m.witCount[1] > 0:
+		m.value = msg.V1
+	case m.msgCount[1] > m.msgCount[0]:
+		m.value = msg.V1
+	default:
+		m.value = msg.V0
+	}
+	m.cardinality = m.msgCount[m.value]
+	m.phase++
+	m.sink.Record(trace.Event{
+		Kind: trace.EventPhase, Process: m.cfg.Self, Phase: m.phase, Value: m.value,
+	})
+
+	if quorum.WitnessDecide(m.witCount[m.value], m.cfg.K) {
+		// Decide. Note the phase was already advanced, so with the decision
+		// made on phase-t witnesses we send (t+1, i, n-k) and (t+2, i, n-k),
+		// matching the consistency proof of Theorem 2.
+		m.decided = true
+		m.decision = m.value
+		m.halted = true
+		m.sink.Record(trace.Event{
+			Kind: trace.EventDecide, Process: m.cfg.Self, Phase: m.phase, Value: m.decision,
+		})
+		m.sink.Record(trace.Event{
+			Kind: trace.EventHalt, Process: m.cfg.Self, Phase: m.phase, Value: m.decision,
+		})
+		nk := quorum.WaitCount(m.cfg.N, m.cfg.K)
+		return []core.Outbound{
+			core.ToAll(msg.State(m.cfg.Self, m.phase, m.value, nk)),
+			core.ToAll(msg.State(m.cfg.Self, m.phase+1, m.value, nk)),
+		}
+	}
+
+	m.msgCount = [2]int{}
+	m.witCount = [2]int{}
+	return []core.Outbound{core.ToAll(msg.State(m.cfg.Self, m.phase, m.value, m.cardinality))}
+}
+
+// Clone returns a deep copy of the machine, for exhaustive state-space
+// exploration (internal/explore).
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.pending = make(map[msg.Phase][]msg.Message, len(m.pending))
+	for p, msgs := range m.pending {
+		c.pending[p] = append([]msg.Message(nil), msgs...)
+	}
+	return &c
+}
+
+// Snapshot returns a deterministic encoding of the machine's full state,
+// used as a hash key by the state-space explorer.
+func (m *Machine) Snapshot() []byte {
+	var b []byte
+	b = append(b, byte(m.value), byte(m.cardinality), byte(m.cardinality>>8))
+	b = appendInt32(b, int32(m.phase))
+	b = append(b, byte(m.msgCount[0]), byte(m.msgCount[1]),
+		byte(m.witCount[0]), byte(m.witCount[1]))
+	var flags byte
+	if m.started {
+		flags |= 1
+	}
+	if m.decided {
+		flags |= 2
+	}
+	if m.halted {
+		flags |= 4
+	}
+	b = append(b, flags, byte(m.decision))
+	// Pending messages in deterministic order.
+	phases := make([]int, 0, len(m.pending))
+	for p := range m.pending {
+		phases = append(phases, int(p))
+	}
+	sort.Ints(phases)
+	for _, p := range phases {
+		msgs := m.pending[msg.Phase(p)]
+		encs := make([]string, len(msgs))
+		for i, mm := range msgs {
+			encs[i] = string(msg.Encode(mm))
+		}
+		sort.Strings(encs)
+		b = appendInt32(b, int32(p))
+		for _, e := range encs {
+			b = append(b, e...)
+		}
+	}
+	return b
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// WouldIgnore reports whether delivering in to the machine is a guaranteed
+// no-op (no state change, no sends). The state-space explorer uses this to
+// prune irrelevant deliveries.
+func (m *Machine) WouldIgnore(in msg.Message) bool {
+	if m.halted || !m.started {
+		return true
+	}
+	if in.Kind != msg.KindState || !in.Value.Valid() {
+		return true
+	}
+	return in.Phase < m.phase
+}

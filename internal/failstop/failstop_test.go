@@ -1,0 +1,218 @@
+package failstop
+
+import (
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+)
+
+func cfg(n, k int, self msg.ID, input msg.Value) core.Config {
+	return core.Config{N: n, K: k, Self: self, Input: input}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(cfg(7, 3, 0, msg.V0), nil); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := New(cfg(7, 4, 0, msg.V0), nil); err == nil {
+		t.Error("k beyond bound accepted")
+	}
+	if _, err := New(cfg(7, 3, 9, msg.V0), nil); err == nil {
+		t.Error("self out of range accepted")
+	}
+	if _, err := New(core.Config{N: 7, K: 3, Self: 0, Input: msg.Value(9)}, nil); err == nil {
+		t.Error("invalid input accepted")
+	}
+	if NewUnsafe(cfg(4, 2, 0, msg.V0), nil) == nil {
+		t.Error("NewUnsafe returned nil")
+	}
+}
+
+func TestStartBroadcastsInitialState(t *testing.T) {
+	m, _ := New(cfg(5, 2, 3, msg.V1), nil)
+	outs := m.Start()
+	if len(outs) != 1 || outs[0].To != msg.Broadcast {
+		t.Fatalf("Start outs %+v", outs)
+	}
+	got := outs[0].Msg
+	if got.Kind != msg.KindState || got.Phase != 0 || got.Value != msg.V1 || got.Cardinality != 1 {
+		t.Errorf("initial message %+v", got)
+	}
+	if m.Start() != nil {
+		t.Error("second Start sent again")
+	}
+}
+
+func TestIgnoresBeforeStartAndForeignKinds(t *testing.T) {
+	m, _ := New(cfg(5, 2, 0, msg.V0), nil)
+	if out := m.OnMessage(msg.State(1, 0, msg.V0, 1)); out != nil {
+		t.Error("message processed before Start")
+	}
+	m.Start()
+	if out := m.OnMessage(msg.Echo(1, 1, 0, msg.V0)); out != nil {
+		t.Error("echo message processed by fail-stop machine")
+	}
+}
+
+// feed drives the machine with one phase of messages and returns its output.
+func feed(t *testing.T, m *Machine, phase msg.Phase, values []msg.Value, cards []int) []core.Outbound {
+	t.Helper()
+	var outs []core.Outbound
+	for i, v := range values {
+		outs = append(outs, m.OnMessage(msg.State(msg.ID(i+1), phase, v, cards[i]))...)
+	}
+	return outs
+}
+
+func TestPhaseAdvanceAdoptsMajority(t *testing.T) {
+	// n=5, k=2: waits for 3 messages.
+	m, _ := New(cfg(5, 2, 0, msg.V0), nil)
+	m.Start()
+	outs := feed(t, m, 0, []msg.Value{1, 1, 0}, []int{1, 1, 1})
+	if m.Phase() != 1 {
+		t.Fatalf("phase %d after 3 messages", m.Phase())
+	}
+	if m.CurrentValue() != msg.V1 {
+		t.Errorf("value %d, want majority 1", m.CurrentValue())
+	}
+	if m.Cardinality() != 2 {
+		t.Errorf("cardinality %d, want 2", m.Cardinality())
+	}
+	if len(outs) != 1 || outs[0].Msg.Phase != 1 || outs[0].Msg.Value != msg.V1 {
+		t.Errorf("phase-1 broadcast %+v", outs)
+	}
+}
+
+func TestTieBreaksToZero(t *testing.T) {
+	// n=5, k=1: waits for 4; a 2-2 split must adopt 0 (the pseudocode's
+	// else branch).
+	m, _ := New(cfg(5, 1, 0, msg.V1), nil)
+	m.Start()
+	feed(t, m, 0, []msg.Value{1, 1, 0, 0}, []int{1, 1, 1, 1})
+	if m.CurrentValue() != msg.V0 {
+		t.Errorf("tie adopted %d, want 0", m.CurrentValue())
+	}
+}
+
+func TestWitnessOverridesMajority(t *testing.T) {
+	// One witness for 0 (cardinality > n/2) beats a numeric majority of 1s.
+	m, _ := New(cfg(5, 2, 0, msg.V1), nil)
+	m.Start()
+	feed(t, m, 0, []msg.Value{1, 1, 0}, []int{1, 1, 3})
+	if m.CurrentValue() != msg.V0 {
+		t.Errorf("witnessed value not adopted: %d", m.CurrentValue())
+	}
+}
+
+func TestDecideOnMoreThanKWitnesses(t *testing.T) {
+	n, k := 5, 2
+	m, _ := New(cfg(n, k, 0, msg.V0), nil)
+	m.Start()
+	// Three witnesses for 1 (cardinality 3 > 5/2): witness_count = 3 > k.
+	outs := feed(t, m, 0, []msg.Value{1, 1, 1}, []int{3, 3, 3})
+	v, ok := m.Decided()
+	if !ok || v != msg.V1 {
+		t.Fatalf("decided=(%d,%v), want (1,true)", v, ok)
+	}
+	if !m.Halted() {
+		t.Fatal("decided machine not halted")
+	}
+	// Must send the two final rounds (t+1, v, n-k), (t+2, v, n-k).
+	if len(outs) != 2 {
+		t.Fatalf("final sends: %d, want 2", len(outs))
+	}
+	nk := quorum.WaitCount(n, k)
+	for i, o := range outs {
+		want := msg.Phase(1 + i)
+		if o.Msg.Phase != want || o.Msg.Value != msg.V1 || int(o.Msg.Cardinality) != nk {
+			t.Errorf("final send %d: %+v", i, o.Msg)
+		}
+	}
+	// Halted: ignores everything afterwards.
+	if out := m.OnMessage(msg.State(1, 1, msg.V0, 1)); out != nil {
+		t.Error("halted machine responded")
+	}
+}
+
+func TestExactlyKWitnessesDoesNotDecide(t *testing.T) {
+	// witness_count must strictly exceed k.
+	n, k := 7, 2
+	m, _ := New(cfg(n, k, 0, msg.V0), nil)
+	m.Start()
+	// 5 messages: 2 witnesses for 1, 3 plain 1s.
+	feed(t, m, 0, []msg.Value{1, 1, 1, 1, 1}, []int{4, 4, 1, 1, 1})
+	if _, ok := m.Decided(); ok {
+		t.Fatal("decided with witness_count == k")
+	}
+	if m.Phase() != 1 {
+		t.Fatal("phase did not advance")
+	}
+}
+
+func TestFuturePhaseBuffered(t *testing.T) {
+	m, _ := New(cfg(5, 2, 0, msg.V0), nil)
+	m.Start()
+	// Two future-phase messages arrive early.
+	m.OnMessage(msg.State(1, 1, msg.V1, 3))
+	m.OnMessage(msg.State(2, 1, msg.V1, 3))
+	if m.Phase() != 0 {
+		t.Fatal("future messages advanced the phase")
+	}
+	// Completing phase 0 replays them.
+	feed(t, m, 0, []msg.Value{0, 0, 0}, []int{1, 1, 1})
+	if m.Phase() != 1 {
+		t.Fatalf("phase %d", m.Phase())
+	}
+	// The two buffered witnesses are already counted; one more message
+	// completes phase 1 with witnesses 2 <= k, no decision.
+	m.OnMessage(msg.State(3, 1, msg.V1, 3))
+	if m.Phase() != 2 {
+		t.Fatalf("phase %d after replay + 1", m.Phase())
+	}
+	if m.CurrentValue() != msg.V1 {
+		t.Errorf("witnessed value not adopted after replay")
+	}
+}
+
+func TestStalePhaseDropped(t *testing.T) {
+	m, _ := New(cfg(5, 2, 0, msg.V0), nil)
+	m.Start()
+	feed(t, m, 0, []msg.Value{0, 0, 0}, []int{1, 1, 1})
+	// A stale phase-0 message must not count toward phase 1.
+	m.OnMessage(msg.State(4, 0, msg.V1, 4))
+	if m.Phase() != 1 {
+		t.Fatal("stale message advanced phase")
+	}
+}
+
+func TestUnanimousDecidesInTwoPhases(t *testing.T) {
+	// All inputs equal: decision by the end of phase 1 (the paper's
+	// bivalence argument: "within two steps").
+	n, k := 7, 3
+	m, _ := New(cfg(n, k, 0, msg.V1), nil)
+	m.Start()
+	feed(t, m, 0, []msg.Value{1, 1, 1, 1}, []int{1, 1, 1, 1})
+	if _, ok := m.Decided(); ok {
+		t.Fatal("decided too early")
+	}
+	nk := quorum.WaitCount(n, k)
+	feed(t, m, 1, []msg.Value{1, 1, 1, 1}, []int{nk, nk, nk, nk})
+	v, ok := m.Decided()
+	if !ok || v != msg.V1 {
+		t.Fatalf("not decided after two unanimous phases: (%d, %v)", v, ok)
+	}
+}
+
+func TestCardinalityOneIsNeverAWitnessBeyondN2(t *testing.T) {
+	// With n = 2 a cardinality-1 message is not a witness (1 <= 2/2 is
+	// false: 2*1 > 2 is false).
+	m, _ := New(cfg(2, 0, 0, msg.V0), nil)
+	m.Start()
+	m.OnMessage(msg.State(1, 0, msg.V1, 1))
+	m.OnMessage(msg.State(0, 0, msg.V0, 1))
+	if _, ok := m.Decided(); ok {
+		t.Fatal("decided from cardinality-1 messages at n=2")
+	}
+}

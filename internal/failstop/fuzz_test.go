@@ -1,0 +1,53 @@
+package failstop_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/machinetest"
+	"resilient/internal/msg"
+)
+
+// TestFuzzInvariants floods Figure 1 machines with hostile message streams:
+// wrong kinds, invalid values, forged subjects, wildcard phases, absurd
+// cardinalities. The machine must keep the model invariants regardless.
+func TestFuzzInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xfa22))
+		n := 3 + rng.IntN(8)
+		k := rng.IntN((n-1)/2 + 1)
+		m, err := failstop.New(core.Config{
+			N: n, K: k, Self: msg.ID(rng.IntN(n)), Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 3000}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}
+
+// TestFuzzStateOnly uses only well-formed state messages, the machine's own
+// dialect, to push it deep into its phase logic.
+func TestFuzzStateOnly(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xfa23))
+		n := 3 + rng.IntN(8)
+		k := rng.IntN((n-1)/2 + 1)
+		m, err := failstop.New(core.Config{
+			N: n, K: k, Self: 0, Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = machinetest.Fuzz(m, rng, machinetest.Options{
+			N: n, Steps: 3000, Kinds: []msg.Kind{msg.KindState}, MaxPhase: 10,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package livenet is the goroutine-based live execution engine: one
+// goroutine per process, each driving a core.Machine against a
+// transport.Conn (in-memory or TCP). Unlike internal/runtime it has no
+// global event queue and no simulated clock -- asynchrony comes from real
+// goroutine scheduling and real sockets -- so it demonstrates the protocols
+// in the deployment shape a downstream user would run them in.
+package livenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilient/internal/core"
+	"resilient/internal/msg"
+	"resilient/internal/transport"
+)
+
+// Decision reports one process's decision.
+type Decision struct {
+	Process msg.ID
+	Value   msg.Value
+	Phase   msg.Phase
+	At      time.Time
+}
+
+// Driver runs one machine against one endpoint.
+type Driver struct {
+	machine core.Machine
+	conn    transport.Conn
+	n       int
+	// OnDecide, if set, is invoked exactly once when the machine decides.
+	OnDecide func(Decision)
+}
+
+// NewDriver returns a driver for machine over conn in an n-process system.
+func NewDriver(machine core.Machine, conn transport.Conn, n int) *Driver {
+	return &Driver{machine: machine, conn: conn, n: n}
+}
+
+// Run starts the machine and processes messages until the machine halts,
+// the context is cancelled, or the connection closes. It returns nil on a
+// clean halt or connection close and the underlying error otherwise.
+func (d *Driver) Run(ctx context.Context) error {
+	if err := d.sendAll(d.machine.Start()); err != nil {
+		return err
+	}
+	d.noteDecision()
+	for !d.machine.Halted() {
+		if err := ctx.Err(); err != nil {
+			return nil // cancelled: treated as a clean shutdown
+		}
+		in, err := d.conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("p%d recv: %w", d.machine.ID(), err)
+		}
+		if err := d.sendAll(d.machine.OnMessage(in)); err != nil {
+			return err
+		}
+		d.noteDecision()
+	}
+	return nil
+}
+
+func (d *Driver) sendAll(outs []core.Outbound) error {
+	for _, o := range outs {
+		if o.To == msg.Broadcast {
+			for q := 0; q < d.n; q++ {
+				if err := d.send(msg.ID(q), o.Msg); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := d.send(o.To, o.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) send(to msg.ID, m msg.Message) error {
+	err := d.conn.Send(to, m)
+	if err == nil || errors.Is(err, transport.ErrClosed) {
+		return nil // a closed destination is indistinguishable from a slow one
+	}
+	return fmt.Errorf("p%d send to p%d: %w", d.machine.ID(), to, err)
+}
+
+func (d *Driver) noteDecision() {
+	if d.OnDecide == nil {
+		return
+	}
+	if v, ok := d.machine.Decided(); ok {
+		cb := d.OnDecide
+		d.OnDecide = nil
+		cb(Decision{
+			Process: d.machine.ID(),
+			Value:   v,
+			Phase:   d.machine.Phase(),
+			At:      time.Now(),
+		})
+	}
+}
+
+// Report summarizes a cluster run.
+type Report struct {
+	// Decisions holds each process's decision, in decision order.
+	Decisions []Decision
+	// Agreement reports whether all decisions carry the same value.
+	Agreement bool
+	// Value is the common decision when Agreement holds.
+	Value msg.Value
+	// Elapsed is the wall-clock duration from start to the last decision.
+	Elapsed time.Duration
+}
+
+// Cluster runs n machines to decision over a shared in-memory message
+// system, or over caller-supplied connections (e.g. TCP endpoints).
+type Cluster struct {
+	machines []core.Machine
+	conns    []transport.Conn
+	cleanup  func()
+}
+
+// NewMemCluster wires the given machines over a fresh in-memory message
+// system. The machine for process i must have ID i.
+func NewMemCluster(machines []core.Machine) (*Cluster, error) {
+	n := len(machines)
+	mem := transport.NewMem(n)
+	conns := make([]transport.Conn, n)
+	for i, m := range machines {
+		if int(m.ID()) != i {
+			return nil, fmt.Errorf("livenet: machine %d has id %d", i, m.ID())
+		}
+		c, err := mem.Conn(msg.ID(i))
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+	}
+	return &Cluster{machines: machines, conns: conns, cleanup: mem.Close}, nil
+}
+
+// NewJitterCluster wires the given machines over an in-memory message
+// system with random per-message delivery delays up to maxDelay. This
+// realizes the paper's probabilistic delivery assumption (Section 2.3) in
+// the live engine; protocols whose convergence depends on view randomness
+// (notably the Section 4.1 majority variant on balanced inputs) need it.
+func NewJitterCluster(machines []core.Machine, maxDelay time.Duration, seed uint64) (*Cluster, error) {
+	n := len(machines)
+	net := transport.NewJitter(n, maxDelay, seed)
+	conns := make([]transport.Conn, n)
+	for i, m := range machines {
+		if int(m.ID()) != i {
+			return nil, fmt.Errorf("livenet: machine %d has id %d", i, m.ID())
+		}
+		c, err := net.Conn(msg.ID(i))
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+	}
+	return &Cluster{machines: machines, conns: conns, cleanup: net.Close}, nil
+}
+
+// NewCluster wires machines over caller-supplied connections (one per
+// machine, same order).
+func NewCluster(machines []core.Machine, conns []transport.Conn) (*Cluster, error) {
+	if len(machines) != len(conns) {
+		return nil, fmt.Errorf("livenet: %d machines, %d conns", len(machines), len(conns))
+	}
+	return &Cluster{machines: machines, conns: conns}, nil
+}
+
+// Run drives every machine concurrently until all have decided or the
+// context expires. It returns the collected report; a context expiry with
+// missing decisions is reported via the error.
+func (c *Cluster) Run(ctx context.Context) (*Report, error) {
+	n := len(c.machines)
+	start := time.Now()
+	decCh := make(chan Decision, n)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if c.cleanup != nil {
+		defer c.cleanup()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := range c.machines {
+		d := NewDriver(c.machines[i], c.conns[i], n)
+		d.OnDecide = func(dec Decision) { decCh <- dec }
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.Run(runCtx); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
+	report := &Report{}
+	var runErr error
+collect:
+	for len(report.Decisions) < n {
+		select {
+		case dec := <-decCh:
+			report.Decisions = append(report.Decisions, dec)
+		case err := <-errCh:
+			runErr = err
+			break collect
+		case <-ctx.Done():
+			runErr = fmt.Errorf("livenet: %d/%d decisions before deadline: %w",
+				len(report.Decisions), n, ctx.Err())
+			break collect
+		}
+	}
+	report.Elapsed = time.Since(start)
+
+	// Shut down: cancel, close connections to unblock receivers, wait.
+	cancel()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	wg.Wait()
+	// Drain any decisions that raced with shutdown.
+	for {
+		select {
+		case dec := <-decCh:
+			report.Decisions = append(report.Decisions, dec)
+			continue
+		default:
+		}
+		break
+	}
+
+	report.Agreement = true
+	for i, dec := range report.Decisions {
+		if i == 0 {
+			report.Value = dec.Value
+			continue
+		}
+		if dec.Value != report.Value {
+			report.Agreement = false
+		}
+	}
+	return report, runErr
+}

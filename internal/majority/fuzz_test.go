@@ -1,0 +1,29 @@
+package majority_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/machinetest"
+	"resilient/internal/majority"
+	"resilient/internal/msg"
+)
+
+// TestFuzzInvariants floods the Section 4.1 variant with hostile streams.
+func TestFuzzInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x3a10))
+		n := 4 + rng.IntN(8)
+		k := rng.IntN((n-1)/3 + 1)
+		m, err := majority.New(core.Config{
+			N: n, K: k, Self: msg.ID(rng.IntN(n)), Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 2500}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package malicious_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/machinetest"
+	"resilient/internal/malicious"
+	"resilient/internal/msg"
+)
+
+// TestFuzzInvariants floods Figure 2 machines with hostile streams: forged
+// initials, equivocating echoes, wildcard spam, malformed values. The
+// machine must keep the model invariants regardless.
+func TestFuzzInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xabc1))
+		n := 4 + rng.IntN(8)
+		k := rng.IntN((n-1)/3 + 1)
+		m, err := malicious.New(core.Config{
+			N: n, K: k, Self: msg.ID(rng.IntN(n)), Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 2500}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}
+
+// TestFuzzProtocolDialect restricts the stream to initial/echo messages,
+// exercising the acceptance machinery heavily.
+func TestFuzzProtocolDialect(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xabc2))
+		n := 4 + rng.IntN(8)
+		k := rng.IntN((n-1)/3 + 1)
+		m, err := malicious.New(core.Config{
+			N: n, K: k, Self: 0, Input: msg.Value(rng.IntN(2)),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = machinetest.Fuzz(m, rng, machinetest.Options{
+			N: n, Steps: 2500,
+			Kinds: []msg.Kind{msg.KindInitial, msg.KindEcho}, MaxPhase: 8,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (n=%d k=%d): %v", seed, n, k, err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package malicious implements the k-resilient consensus protocol for the
+// malicious case -- Figure 2 of Bracha & Toueg, "Resilient Consensus
+// Protocols" (PODC 1983) -- for any k <= floor((n-1)/3).
+//
+// Protocol sketch (Figure 2 + Section 3.3). Each phase, a process
+// broadcasts an (initial, p, value, phase) message. Every process echoes
+// each first-seen initial message to everyone. A process accepts value v
+// from q at phase t once it has counted echoes (echo, q, v, t) from strictly
+// more than (n+k)/2 distinct senders; it counts each sender's first echo per
+// (q, t) only, which is what defeats equivocation. After accepting messages
+// from n-k processes it adopts the majority of the accepted values, decides
+// if one value was accepted from strictly more than (n+k)/2 processes, and
+// starts the next phase.
+//
+// Post-decision termination follows the Section 3.3 construction: a decided
+// process sends (initial, p, i, *) and echoes (echo, q, i, *) for all q --
+// wildcard messages that every receiver re-applies at each subsequent phase
+// ("whenever a process receives them, it sends them back to itself") -- and
+// then halts. These wildcards stand in for the decided process's continued
+// participation, so stragglers keep accepting n-k values per phase and
+// decide too.
+package malicious
+
+import (
+	"fmt"
+
+	"resilient/internal/core"
+	"resilient/internal/echo"
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+	"resilient/internal/trace"
+)
+
+type initialKey struct {
+	from  msg.ID
+	phase msg.Phase
+}
+
+type wildKey struct {
+	sender  msg.ID
+	subject msg.ID
+}
+
+type wildEcho struct {
+	sender  msg.ID
+	subject msg.ID
+	value   msg.Value
+}
+
+// Machine is a Figure-2 protocol instance at one process. It implements
+// core.Machine and is not safe for concurrent use.
+type Machine struct {
+	cfg  core.Config
+	sink trace.Sink
+
+	value msg.Value
+	phase msg.Phase
+
+	tracker  *echo.Tracker
+	msgCount [2]int
+
+	echoedInitial map[initialKey]bool
+	echoedWild    map[msg.ID]bool
+
+	wildSeen  map[wildKey]bool
+	wildOrder []wildEcho // receipt order, for deterministic re-application
+	wildNext  int        // wild entries [0:wildNext) already applied to current phase
+
+	pendingEchoes map[msg.Phase][]msg.Message
+
+	started  bool
+	decided  bool
+	decision msg.Value
+	halted   bool
+}
+
+var (
+	_ core.Machine       = (*Machine)(nil)
+	_ core.ValueReporter = (*Machine)(nil)
+)
+
+// New returns a Figure-2 machine for the given configuration. sink may be
+// nil to disable tracing.
+func New(cfg core.Config, sink trace.Sink) (*Machine, error) {
+	if err := cfg.Validate(quorum.Malicious); err != nil {
+		return nil, fmt.Errorf("malicious: %w", err)
+	}
+	return NewUnsafe(cfg, sink), nil
+}
+
+// NewUnsafe returns a machine without validating (n, k) against the
+// resilience bound; the Theorem-3 lower-bound experiment configures
+// k = n/3 deliberately.
+func NewUnsafe(cfg core.Config, sink trace.Sink) *Machine {
+	if sink == nil {
+		sink = trace.Nop{}
+	}
+	return &Machine{
+		cfg:           cfg,
+		sink:          sink,
+		value:         cfg.Input,
+		tracker:       echo.NewTracker(cfg.N, cfg.K),
+		echoedInitial: make(map[initialKey]bool),
+		echoedWild:    make(map[msg.ID]bool),
+		wildSeen:      make(map[wildKey]bool),
+		pendingEchoes: make(map[msg.Phase][]msg.Message),
+	}
+}
+
+// ID implements core.Machine.
+func (m *Machine) ID() msg.ID { return m.cfg.Self }
+
+// Phase implements core.Machine.
+func (m *Machine) Phase() msg.Phase { return m.phase }
+
+// Decided implements core.Machine.
+func (m *Machine) Decided() (msg.Value, bool) { return m.decision, m.decided }
+
+// Halted implements core.Machine.
+func (m *Machine) Halted() bool { return m.halted }
+
+// CurrentValue implements core.ValueReporter.
+func (m *Machine) CurrentValue() msg.Value { return m.value }
+
+// AcceptedCounts exposes the current phase's accepted-value tallies, for
+// tests.
+func (m *Machine) AcceptedCounts() (zeros, ones int) {
+	return m.msgCount[0], m.msgCount[1]
+}
+
+// Start broadcasts the phase-0 initial message.
+func (m *Machine) Start() []core.Outbound {
+	if m.started {
+		return nil
+	}
+	m.started = true
+	return []core.Outbound{core.ToAll(msg.Initial(m.cfg.Self, m.phase, m.value))}
+}
+
+// OnMessage consumes one delivered message.
+func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
+	if m.halted || !m.started {
+		return nil
+	}
+	switch in.Kind {
+	case msg.KindInitial:
+		return m.onInitial(in)
+	case msg.KindEcho:
+		return m.onEcho(in)
+	default:
+		return nil
+	}
+}
+
+// onInitial echoes a first-seen initial message to everyone. Initials are
+// echoed regardless of their phase (the Figure-2 case analysis applies no
+// phase guard to initial messages). An initial whose Subject differs from
+// its authenticated sender is a forgery and is dropped -- the Section 3.1
+// model requires that "correct processes verify the identity of the sender".
+func (m *Machine) onInitial(in msg.Message) []core.Outbound {
+	if in.Subject != in.From || !in.Value.Valid() {
+		return nil
+	}
+	if in.Phase.IsWildcard() {
+		if m.echoedWild[in.From] {
+			return nil
+		}
+		m.echoedWild[in.From] = true
+		return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, msg.WildcardPhase, in.Value))}
+	}
+	key := initialKey{from: in.From, phase: in.Phase}
+	if m.echoedInitial[key] {
+		return nil
+	}
+	m.echoedInitial[key] = true
+	return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, in.Phase, in.Value))}
+}
+
+// onEcho feeds an echo into the acceptance machinery, buffering echoes for
+// future phases and recording wildcard echoes for every phase from now on.
+func (m *Machine) onEcho(in msg.Message) []core.Outbound {
+	if !in.Value.Valid() {
+		return nil
+	}
+	if in.Phase.IsWildcard() {
+		wk := wildKey{sender: in.From, subject: in.Subject}
+		if m.wildSeen[wk] {
+			return nil
+		}
+		m.wildSeen[wk] = true
+		m.wildOrder = append(m.wildOrder, wildEcho{sender: in.From, subject: in.Subject, value: in.Value})
+		// Apply immediately to the current phase; re-applied automatically
+		// on every later phase.
+		return m.drive(nil)
+	}
+	switch {
+	case in.Phase < m.phase:
+		return nil
+	case in.Phase > m.phase:
+		m.pendingEchoes[in.Phase] = append(m.pendingEchoes[in.Phase], in)
+		return nil
+	}
+	return m.drive([]msg.Message{in})
+}
+
+// drive processes current-phase echoes (seed plus any wildcards and buffered
+// echoes that become applicable), cascading through phase endings until the
+// machine quiesces, decides, or runs out of input.
+func (m *Machine) drive(seed []msg.Message) []core.Outbound {
+	var out []core.Outbound
+	queue := seed
+	for !m.halted {
+		if m.phaseComplete() {
+			out = append(out, m.endPhase()...)
+			if !m.halted {
+				if buf := m.pendingEchoes[m.phase]; len(buf) > 0 {
+					queue = append(queue, buf...)
+					delete(m.pendingEchoes, m.phase)
+				}
+			}
+			continue
+		}
+		// Re-apply stored wildcard echoes to the current phase first.
+		if m.wildNext < len(m.wildOrder) {
+			w := m.wildOrder[m.wildNext]
+			m.wildNext++
+			m.observe(w.sender, w.subject, w.value)
+			continue
+		}
+		if len(queue) == 0 {
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.Phase != m.phase {
+			if cur.Phase > m.phase {
+				m.pendingEchoes[cur.Phase] = append(m.pendingEchoes[cur.Phase], cur)
+			}
+			continue
+		}
+		m.observe(cur.From, cur.Subject, cur.Value)
+	}
+	return out
+}
+
+// observe counts one echo for the current phase and applies any resulting
+// acceptance.
+func (m *Machine) observe(sender, subject msg.ID, v msg.Value) {
+	acc, ok := m.tracker.Observe(sender, subject, m.phase, v)
+	if !ok {
+		return
+	}
+	m.msgCount[acc.Value]++
+	m.sink.Record(trace.Event{
+		Kind: trace.EventAccept, Process: m.cfg.Self, Phase: m.phase, Value: acc.Value,
+		Note: fmt.Sprintf("from p%d", acc.Subject),
+	})
+}
+
+func (m *Machine) phaseComplete() bool {
+	return m.msgCount[0]+m.msgCount[1] >= quorum.WaitCount(m.cfg.N, m.cfg.K)
+}
+
+// endPhase runs the bottom half of the Figure-2 loop body.
+func (m *Machine) endPhase() []core.Outbound {
+	if m.msgCount[1] > m.msgCount[0] {
+		m.value = msg.V1
+	} else {
+		m.value = msg.V0
+	}
+	for _, v := range []msg.Value{msg.V0, msg.V1} {
+		if quorum.ExceedsHalfNPlusK(m.msgCount[v], m.cfg.N, m.cfg.K) {
+			m.decided = true
+			m.decision = v
+			m.value = v
+			break
+		}
+	}
+	m.phase++
+	m.msgCount = [2]int{}
+	m.wildNext = 0 // wildcards re-apply to the new phase
+	m.tracker.Prune(m.phase)
+	delete(m.pendingEchoes, m.phase-1)
+
+	if m.decided {
+		m.sink.Record(trace.Event{
+			Kind: trace.EventDecide, Process: m.cfg.Self, Phase: m.phase - 1, Value: m.decision,
+		})
+		m.sink.Record(trace.Event{
+			Kind: trace.EventHalt, Process: m.cfg.Self, Phase: m.phase - 1, Value: m.decision,
+		})
+		m.halted = true
+		out := make([]core.Outbound, 0, m.cfg.N+1)
+		out = append(out, core.ToAll(msg.Initial(m.cfg.Self, msg.WildcardPhase, m.decision)))
+		for q := 0; q < m.cfg.N; q++ {
+			out = append(out, core.ToAll(msg.Echo(m.cfg.Self, msg.ID(q), msg.WildcardPhase, m.decision)))
+		}
+		return out
+	}
+
+	m.sink.Record(trace.Event{
+		Kind: trace.EventPhase, Process: m.cfg.Self, Phase: m.phase, Value: m.value,
+	})
+	return []core.Outbound{core.ToAll(msg.Initial(m.cfg.Self, m.phase, m.value))}
+}

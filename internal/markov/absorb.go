@@ -1,0 +1,91 @@
+package markov
+
+import (
+	"fmt"
+
+	"resilient/internal/matrix"
+)
+
+// AbsorptionSplit computes, for every transient state, the probability that
+// the chain is absorbed in the *high* region (all-ones side) rather than
+// the low one, via B = N * R with N the fundamental matrix and R the
+// transient-to-absorbing block. Absorbed states report 0 or 1 according to
+// their side. This quantifies the paper's closing remark that "the
+// consensus value is still likely to be equal to the majority of the
+// initial input values".
+func (c FailStop) AbsorptionSplit() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return absorptionSplit(c.N+1, c.Absorbed, c.TransitionRow, func(i int) bool {
+		return 2*i > c.N+c.K
+	})
+}
+
+// AbsorptionSplit is the malicious-chain analogue of FailStop's.
+func (c Malicious) AbsorptionSplit() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return absorptionSplit(c.Correct()+1, c.Absorbed, c.TransitionRow, func(i int) bool {
+		return 2*i > c.N+c.K
+	})
+}
+
+// absorptionSplit solves B = N*R for the probability of ending in the
+// "high" absorbing side from each state.
+func absorptionSplit(states int, absorbed func(int) bool, row func(int) []float64, high func(int) bool) ([]float64, error) {
+	var transient []int
+	index := make(map[int]int, states)
+	for i := 0; i < states; i++ {
+		if !absorbed(i) {
+			index[i] = len(transient)
+			transient = append(transient, i)
+		}
+	}
+	out := make([]float64, states)
+	for i := 0; i < states; i++ {
+		if absorbed(i) && high(i) {
+			out[i] = 1
+		}
+	}
+	if len(transient) == 0 {
+		return out, nil
+	}
+	q := matrix.New(len(transient), len(transient))
+	rHigh := matrix.New(len(transient), 1) // P(one-step absorption into high)
+	for ti, i := range transient {
+		r := row(i)
+		for j, p := range r {
+			if p == 0 {
+				continue
+			}
+			if tj, ok := index[j]; ok {
+				q.Set(ti, tj, p)
+				continue
+			}
+			if high(j) {
+				rHigh.Set(ti, 0, rHigh.At(ti, 0)+p)
+			}
+		}
+	}
+	n, err := matrix.Fundamental(q)
+	if err != nil {
+		return nil, fmt.Errorf("markov: absorption split: %w", err)
+	}
+	b, err := n.Mul(rHigh)
+	if err != nil {
+		return nil, err
+	}
+	for ti, i := range transient {
+		p := b.At(ti, 0)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		out[i] = p
+	}
+	return out, nil
+}

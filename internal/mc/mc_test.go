@@ -1,0 +1,250 @@
+package mc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/stats"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+func TestFailStopValidate(t *testing.T) {
+	if (FailStop{N: 9, K: 3}).Validate() != nil {
+		t.Error("valid chain rejected")
+	}
+	for _, c := range []FailStop{{N: 0, K: 0}, {N: 5, K: 5}, {N: 5, K: -1}} {
+		if c.Validate() == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestFailStopAbsorbedRegions(t *testing.T) {
+	c := FailStop{N: 90, K: 30} // k = n/3: paper's regions [0,30) and (60,90]
+	for i := 0; i <= 90; i++ {
+		want := i < 30 || i > 60
+		if got := c.Absorbed(i); got != want {
+			t.Errorf("Absorbed(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFailStopStepFromUnanimity(t *testing.T) {
+	c := FailStop{N: 30, K: 5}
+	out, err := c.Step(0, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ones != 0 {
+		t.Errorf("unanimity not preserved: %d ones", out.Ones)
+	}
+	// Everyone sees 25 zeros > (30+5)/2 = 17.5 -> all decide 0.
+	if out.Decided0 != 30 || out.Decided1 != 0 {
+		t.Errorf("decisions (%d, %d)", out.Decided0, out.Decided1)
+	}
+}
+
+func TestFailStopStepCommittedRegionCollapses(t *testing.T) {
+	// From a state in the absorbing region, one step reaches unanimity.
+	c := FailStop{N: 90, K: 30}
+	out, err := c.Step(29, rng(2)) // 29 < (n-k)/2 = 30
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ones != 0 {
+		t.Errorf("absorbing state did not collapse: %d ones", out.Ones)
+	}
+}
+
+func TestAbsorptionRunTerminates(t *testing.T) {
+	c := FailStop{N: 60, K: 20}
+	var acc stats.Accumulator
+	for seed := uint64(0); seed < 200; seed++ {
+		phases, err := c.AbsorptionRun(30, rng(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(float64(phases))
+	}
+	// The paper's bound for the collapsed chain is < 7 phases; the exact
+	// chain from balanced start should be well below that.
+	if acc.Mean() > 7 {
+		t.Errorf("mean absorption %v > 7", acc.Mean())
+	}
+	if acc.Mean() <= 0 {
+		t.Errorf("mean absorption %v <= 0", acc.Mean())
+	}
+}
+
+func TestAbsorptionRunFromAbsorbedIsZero(t *testing.T) {
+	c := FailStop{N: 60, K: 20}
+	phases, err := c.AbsorptionRun(0, rng(1), 0)
+	if err != nil || phases != 0 {
+		t.Errorf("phases=%d err=%v", phases, err)
+	}
+}
+
+func TestAbsorptionRunRejectsBadStart(t *testing.T) {
+	c := FailStop{N: 10, K: 3}
+	if _, err := c.AbsorptionRun(11, rng(1), 0); err == nil {
+		t.Error("start beyond n accepted")
+	}
+	if _, err := c.AbsorptionRun(-1, rng(1), 0); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestDecisionRunAgreesAndTerminates(t *testing.T) {
+	c := FailStop{N: 30, K: 9} // 3k < n
+	for seed := uint64(0); seed < 50; seed++ {
+		phases, _, err := c.DecisionRun(15, rng(seed), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if phases < 1 || phases > 1000 {
+			t.Fatalf("seed %d: implausible %d phases", seed, phases)
+		}
+	}
+}
+
+func TestDecisionRunUnanimousFast(t *testing.T) {
+	c := FailStop{N: 30, K: 9}
+	phases, ones, err := c.DecisionRun(30, rng(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ones {
+		t.Error("unanimous 1s decided 0")
+	}
+	if phases != 1 {
+		t.Errorf("unanimous input took %d phases, want 1", phases)
+	}
+}
+
+func TestDecisionRunRequiresThreeKLessN(t *testing.T) {
+	c := FailStop{N: 9, K: 3}
+	if _, _, err := c.DecisionRun(4, rng(1), 0); err == nil {
+		t.Error("3k = n accepted for decisions")
+	}
+}
+
+func TestMaliciousValidate(t *testing.T) {
+	if (Malicious{N: 10, K: 2, Model: Mixed}).Validate() != nil {
+		t.Error("valid chain rejected")
+	}
+	if (Malicious{N: 10, K: 5, Model: Mixed}).Validate() == nil {
+		t.Error("2k = n accepted")
+	}
+	if (Malicious{N: 10, K: 2}).Validate() == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestMaliciousAbsorbedRegions(t *testing.T) {
+	c := Malicious{N: 100, K: 10, Model: Mixed}
+	// Absorbing: 2i < n-3k = 70 -> i < 35; 2i > n+k = 110 -> i > 55.
+	for _, tc := range []struct {
+		i    int
+		want bool
+	}{{34, true}, {35, false}, {55, false}, {56, true}, {0, true}, {90, true}} {
+		if got := c.Absorbed(tc.i); got != tc.want {
+			t.Errorf("Absorbed(%d) = %v, want %v", tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestMaliciousStepBothModels(t *testing.T) {
+	for _, model := range []AdversaryModel{Mixed, Forced} {
+		c := Malicious{N: 50, K: 5, Model: model}
+		out, err := c.Step(22, rng(4)) // near balance
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if out.Ones < 0 || out.Ones > c.Correct() {
+			t.Fatalf("%v: ones %d outside range", model, out.Ones)
+		}
+	}
+}
+
+func TestMaliciousAbsorptionWithinPaperScale(t *testing.T) {
+	// k = l*sqrt(n)/2 with l=1, n=100: k=5. Bound: 1/(2*Phi(1)) ~ 3.15.
+	// The balancing adversary slows but does not prevent absorption; allow
+	// a generous multiple.
+	for _, model := range []AdversaryModel{Mixed, Forced} {
+		c := Malicious{N: 100, K: 5, Model: model}
+		var acc stats.Accumulator
+		for seed := uint64(0); seed < 300; seed++ {
+			phases, err := c.AbsorptionRun(c.Correct()/2, rng(seed), 0)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", model, seed, err)
+			}
+			acc.Add(float64(phases))
+		}
+		if acc.Mean() > 20 {
+			t.Errorf("%v: mean absorption %v implausibly high", model, acc.Mean())
+		}
+	}
+}
+
+func TestMaliciousForcedSlowerThanMixed(t *testing.T) {
+	// The Forced adversary (always in every view) can only slow things
+	// down relative to Mixed. Compare means with many trials.
+	mixed := Malicious{N: 100, K: 8, Model: Mixed}
+	forced := Malicious{N: 100, K: 8, Model: Forced}
+	var am, af stats.Accumulator
+	for seed := uint64(0); seed < 1500; seed++ {
+		pm, err := mixed.AbsorptionRun(46, rng(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := forced.AbsorptionRun(46, rng(seed+99999), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am.Add(float64(pm))
+		af.Add(float64(pf))
+	}
+	if af.Mean() < am.Mean()-3*(am.CI95()+af.CI95()) {
+		t.Errorf("forced (%v) significantly faster than mixed (%v)", af.Mean(), am.Mean())
+	}
+}
+
+func TestMaliciousDecisionRun(t *testing.T) {
+	c := Malicious{N: 40, K: 4, Model: Mixed}
+	for seed := uint64(0); seed < 30; seed++ {
+		phases, _, err := c.DecisionRun(18, rng(seed), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if phases < 1 {
+			t.Fatalf("phases %d", phases)
+		}
+	}
+}
+
+func TestAdversaryModelString(t *testing.T) {
+	if Mixed.String() != "mixed" || Forced.String() != "forced" {
+		t.Error("model names wrong")
+	}
+	if AdversaryModel(9).String() == "" {
+		t.Error("unknown model has empty name")
+	}
+}
+
+func TestStepOutcomeDecisionCountsBounded(t *testing.T) {
+	c := FailStop{N: 20, K: 6}
+	for state := 0; state <= 20; state += 4 {
+		out, err := c.Step(state, rng(uint64(state)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Decided0+out.Decided1 > c.N {
+			t.Fatalf("state %d: more decisions than processes", state)
+		}
+		if out.Decided0 > 0 && out.Decided1 > 0 {
+			t.Fatalf("state %d: both values decided in one phase: counts (%d,%d)",
+				state, out.Decided0, out.Decided1)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (big-endian):
+//
+//	byte  0      kind
+//	byte  1      flags (bit0 = Bot)
+//	bytes 2-5    From (int32)
+//	bytes 6-9    Subject (int32)
+//	bytes 10-13  Phase (int32; -1 = wildcard)
+//	byte  14     Value
+//	bytes 15-18  Cardinality (int32)
+//	bytes 19-22  Payload length (uint32)
+//	bytes 23..   Payload
+const headerLen = 23
+
+const flagBot = 0x01
+
+// MaxPayload bounds payload sizes accepted by Decode, protecting network
+// readers from hostile length prefixes.
+const MaxPayload = 1 << 20
+
+// ErrShortMessage is returned when a buffer is too small to hold a message.
+var ErrShortMessage = errors.New("msg: short message buffer")
+
+// Encode serializes the message into a fresh byte slice.
+func Encode(m Message) []byte {
+	buf := make([]byte, headerLen+len(m.Payload))
+	buf[0] = byte(m.Kind)
+	if m.Bot {
+		buf[1] |= flagBot
+	}
+	binary.BigEndian.PutUint32(buf[2:6], uint32(m.From))
+	binary.BigEndian.PutUint32(buf[6:10], uint32(m.Subject))
+	binary.BigEndian.PutUint32(buf[10:14], uint32(m.Phase))
+	buf[14] = byte(m.Value)
+	binary.BigEndian.PutUint32(buf[15:19], uint32(m.Cardinality))
+	binary.BigEndian.PutUint32(buf[19:23], uint32(len(m.Payload)))
+	copy(buf[headerLen:], m.Payload)
+	return buf
+}
+
+// Decode parses a message previously produced by Encode. It validates the
+// kind, the value, and the payload length.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < headerLen {
+		return Message{}, ErrShortMessage
+	}
+	m := Message{
+		Kind:        Kind(buf[0]),
+		Bot:         buf[1]&flagBot != 0,
+		From:        ID(int32(binary.BigEndian.Uint32(buf[2:6]))),
+		Subject:     ID(int32(binary.BigEndian.Uint32(buf[6:10]))),
+		Phase:       Phase(int32(binary.BigEndian.Uint32(buf[10:14]))),
+		Value:       Value(buf[14]),
+		Cardinality: int32(binary.BigEndian.Uint32(buf[15:19])),
+	}
+	if !m.Kind.Valid() {
+		return Message{}, fmt.Errorf("msg: invalid kind %d", buf[0])
+	}
+	if !m.Value.Valid() {
+		return Message{}, fmt.Errorf("msg: invalid value %d", buf[14])
+	}
+	plen := binary.BigEndian.Uint32(buf[19:23])
+	if plen > MaxPayload {
+		return Message{}, fmt.Errorf("msg: payload length %d exceeds limit %d", plen, MaxPayload)
+	}
+	if len(buf) < headerLen+int(plen) {
+		return Message{}, ErrShortMessage
+	}
+	if plen > 0 {
+		m.Payload = make([]byte, plen)
+		copy(m.Payload, buf[headerLen:headerLen+int(plen)])
+	}
+	return m, nil
+}
+
+// EncodedLen returns the number of bytes Encode will produce for m.
+func EncodedLen(m Message) int {
+	return headerLen + len(m.Payload)
+}

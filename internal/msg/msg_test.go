@@ -1,0 +1,189 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueOther(t *testing.T) {
+	if V0.Other() != V1 || V1.Other() != V0 {
+		t.Error("Other is not an involution on {0,1}")
+	}
+	if !V0.Valid() || !V1.Valid() || Value(2).Valid() {
+		t.Error("validity wrong")
+	}
+}
+
+func TestPhaseWildcard(t *testing.T) {
+	if !WildcardPhase.IsWildcard() || Phase(0).IsWildcard() || Phase(7).IsWildcard() {
+		t.Error("wildcard detection wrong")
+	}
+	if WildcardPhase.String() != "*" {
+		t.Errorf("wildcard renders as %q", WildcardPhase.String())
+	}
+	if Phase(3).String() != "3" {
+		t.Errorf("phase 3 renders as %q", Phase(3).String())
+	}
+}
+
+func TestKindValidity(t *testing.T) {
+	valid := []Kind{KindState, KindValue, KindInitial, KindEcho,
+		KindBenOrReport, KindBenOrProposal, KindGraph}
+	for _, k := range valid {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("%v has no name", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(99).Valid() {
+		t.Error("out-of-range kinds accepted")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	s := State(3, 7, V1, 12)
+	if s.Kind != KindState || s.From != 3 || s.Subject != 3 || s.Phase != 7 ||
+		s.Value != V1 || s.Cardinality != 12 {
+		t.Errorf("State built %+v", s)
+	}
+	e := Echo(1, 2, 5, V0)
+	if e.Kind != KindEcho || e.From != 1 || e.Subject != 2 {
+		t.Errorf("Echo built %+v", e)
+	}
+	p := BenOrProposal(4, 9, V0, true)
+	if !p.Bot {
+		t.Error("Bot lost")
+	}
+	g := Graph(2, 1, []byte{1, 2, 3})
+	if !bytes.Equal(g.Payload, []byte{1, 2, 3}) {
+		t.Error("payload lost")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msgs := []Message{
+		State(0, 0, V0, 1),
+		State(999, 12345, V1, 67),
+		Val(3, 2, V1),
+		Initial(5, WildcardPhase, V1),
+		Echo(1, 7, WildcardPhase, V0),
+		BenOrReport(2, 8, V1),
+		BenOrProposal(2, 8, V0, true),
+		Graph(6, 3, []byte{0xde, 0xad, 0xbe, 0xef}),
+		Graph(6, 3, nil),
+	}
+	for _, m := range msgs {
+		buf := Encode(m)
+		if len(buf) != EncodedLen(m) {
+			t.Errorf("%v: EncodedLen %d != actual %d", m, EncodedLen(m), len(buf))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m, err)
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		want := m
+		if len(want.Payload) == 0 {
+			want.Payload = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(kind uint8, from, subject, phase int32, value uint8, card int32, bot bool, payload []byte) bool {
+		m := Message{
+			Kind:        Kind(kind%7 + 1),
+			From:        ID(from),
+			Subject:     ID(subject),
+			Phase:       Phase(phase),
+			Value:       Value(value % 2),
+			Cardinality: card,
+			Bot:         bot,
+			Payload:     payload,
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		if len(m.Payload) == 0 {
+			m.Payload = nil
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     nil,
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	good := Encode(State(1, 2, V1, 3))
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF // invalid kind
+	if _, err := Decode(bad); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[14] = 7 // invalid value
+	if _, err := Decode(bad); err == nil {
+		t.Error("invalid value accepted")
+	}
+	// Hostile payload length.
+	bad = append([]byte(nil), good...)
+	bad[19], bad[20], bad[21], bad[22] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("hostile payload length accepted")
+	}
+	// Truncated payload.
+	g := Encode(Graph(1, 1, []byte{1, 2, 3, 4}))
+	if _, err := Decode(g[:len(g)-2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Graph(1, 1, []byte{1, 2, 3})
+	c := m.Clone()
+	c.Payload[0] = 9
+	if m.Payload[0] == 9 {
+		t.Error("Clone shares payload")
+	}
+}
+
+func TestStringsDoNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		m := Message{
+			Kind:    Kind(rng.IntN(10)),
+			From:    ID(rng.IntN(10)),
+			Subject: ID(rng.IntN(10)),
+			Phase:   Phase(rng.IntN(5) - 1),
+			Value:   Value(rng.IntN(2)),
+			Bot:     rng.IntN(2) == 0,
+		}
+		_ = m.String()
+	}
+}

@@ -1,0 +1,232 @@
+// Package netxport is a TCP implementation of the transport.Conn interface:
+// n processes connected in a full mesh over loopback (or any reachable
+// addresses), with length-prefixed binary frames (internal/msg codec).
+//
+// Each endpoint listens on its own address. Connections are established
+// lazily on first send and identified by a fixed-size hello frame carrying
+// the dialer's process id. Inbound messages are stamped with the hello
+// identity, never the message's claimed sender, so impersonation requires
+// owning the peer's listening socket -- a stand-in for the paper's
+// requirement that "the message system must provide a way for correct
+// processes to verify the identity of the sender" (Section 3.1). A
+// production deployment would pin identities with TLS; this package keeps
+// the demo dependency-free.
+package netxport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"resilient/internal/msg"
+	"resilient/internal/transport"
+)
+
+const maxFrame = 1 << 20
+
+// Endpoint is one process's TCP endpoint. It implements transport.Conn.
+type Endpoint struct {
+	id    msg.ID
+	addrs []string // addrs[i] is process i's listen address
+	ln    net.Listener
+
+	mu       sync.Mutex
+	peers    map[msg.ID]net.Conn // outbound connections, lazily dialed
+	accepted []net.Conn          // inbound connections, closed on shutdown
+
+	inbox chan inboundMsg
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type inboundMsg struct {
+	m   msg.Message
+	err error
+}
+
+var _ transport.Conn = (*Endpoint)(nil)
+
+// Listen creates the endpoint for process id, listening on addrs[id]. The
+// address may use port 0; the actual address is available via Addr.
+func Listen(id msg.ID, addrs []string) (*Endpoint, error) {
+	if id < 0 || int(id) >= len(addrs) {
+		return nil, fmt.Errorf("netxport: id %d outside address table of %d", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("netxport: listen %s: %w", addrs[id], err)
+	}
+	e := &Endpoint{
+		id:    id,
+		addrs: append([]string(nil), addrs...),
+		ln:    ln,
+		peers: make(map[msg.ID]net.Conn),
+		inbox: make(chan inboundMsg, 1024),
+		done:  make(chan struct{}),
+	}
+	e.addrs[id] = ln.Addr().String()
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's actual listen address.
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// SetPeerAddr updates the address table entry for a peer (used when peers
+// listen on ephemeral ports discovered after startup).
+func (e *Endpoint) SetPeerAddr(id msg.ID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id >= 0 && int(id) < len(e.addrs) {
+		e.addrs[id] = addr
+	}
+}
+
+// ID implements transport.Conn.
+func (e *Endpoint) ID() msg.ID { return e.id }
+
+// Send implements transport.Conn: it lazily dials the destination, then
+// writes one frame.
+func (e *Endpoint) Send(to msg.ID, m msg.Message) error {
+	if to < 0 || int(to) >= len(e.addrs) {
+		return fmt.Errorf("netxport: destination %d outside address table", to)
+	}
+	m.From = e.id
+	if to == e.id {
+		// Local delivery without a socket round-trip.
+		select {
+		case e.inbox <- inboundMsg{m: m}:
+			return nil
+		case <-e.done:
+			return transport.ErrClosed
+		}
+	}
+	conn, err := e.peer(to)
+	if err != nil {
+		return err
+	}
+	frame := msg.Encode(m)
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(frame)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := conn.Write(lenbuf[:]); err != nil {
+		return fmt.Errorf("netxport: write to p%d: %w", to, err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("netxport: write to p%d: %w", to, err)
+	}
+	return nil
+}
+
+func (e *Endpoint) peer(to msg.ID) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.peers[to]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", e.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("netxport: dial p%d at %s: %w", to, e.addrs[to], err)
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(e.id))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("netxport: hello to p%d: %w", to, err)
+	}
+	e.peers[to] = c
+	return c, nil
+}
+
+// Recv implements transport.Conn.
+func (e *Endpoint) Recv() (msg.Message, error) {
+	select {
+	case in, ok := <-e.inbox:
+		if !ok {
+			return msg.Message{}, transport.ErrClosed
+		}
+		return in.m, in.err
+	case <-e.done:
+		return msg.Message{}, transport.ErrClosed
+	}
+}
+
+// Close implements transport.Conn: it stops the accept loop and closes all
+// connections.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.mu.Lock()
+		for _, c := range e.peers {
+			c.Close()
+		}
+		// Accepted connections must be closed too, or their readLoops
+		// would block until the remote side shuts down -- a circular wait
+		// when a whole cluster closes at once.
+		for _, c := range e.accepted {
+			c.Close()
+		}
+		e.mu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		e.accepted = append(e.accepted, conn)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := msg.ID(int32(binary.BigEndian.Uint32(hello[:])))
+	if from < 0 || int(from) >= len(e.addrs) {
+		return // unknown identity
+	}
+	var lenbuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenbuf[:])
+		if size > maxFrame {
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		m, err := msg.Decode(frame)
+		if err != nil {
+			continue // malformed frame from a (possibly malicious) peer
+		}
+		m.From = from // authenticated identity, not the claimed one
+		select {
+		case e.inbox <- inboundMsg{m: m}:
+		case <-e.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package netxport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"resilient/internal/msg"
+)
+
+// mesh starts n endpoints on ephemeral loopback ports, fully wired.
+func mesh(t *testing.T, n int) []*Endpoint {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := Listen(msg.ID(i), addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		t.Cleanup(func() { ep.Close() })
+	}
+	for _, ep := range eps {
+		for j, other := range eps {
+			ep.SetPeerAddr(msg.ID(j), other.Addr())
+		}
+	}
+	return eps
+}
+
+func recvWithTimeout(t *testing.T, ep *Endpoint) msg.Message {
+	t.Helper()
+	type res struct {
+		m   msg.Message
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, err := ep.Recv()
+		ch <- res{m, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		return r.m
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv timed out")
+		return msg.Message{}
+	}
+}
+
+func TestSendRecvAcrossSockets(t *testing.T) {
+	eps := mesh(t, 2)
+	want := msg.State(0, 3, msg.V1, 9)
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, eps[1])
+	if got.Kind != msg.KindState || got.Phase != 3 || got.Value != msg.V1 || got.Cardinality != 9 {
+		t.Errorf("got %+v", got)
+	}
+	if got.From != 0 {
+		t.Errorf("authenticated sender %d", got.From)
+	}
+}
+
+func TestSelfSendLocalPath(t *testing.T) {
+	eps := mesh(t, 1)
+	if err := eps[0].Send(0, msg.Val(0, 1, msg.V0)); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, eps[0])
+	if got.Phase != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestIdentityStampedNotClaimed(t *testing.T) {
+	eps := mesh(t, 3)
+	forged := msg.Val(2, 0, msg.V1) // p0 claims to be p2
+	if err := eps[0].Send(1, forged); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, eps[1])
+	if got.From != 0 {
+		t.Errorf("forgery survived: From=%d", got.From)
+	}
+}
+
+func TestManyMessagesBothDirections(t *testing.T) {
+	eps := mesh(t, 2)
+	const count = 200
+	go func() {
+		for i := 0; i < count; i++ {
+			eps[0].Send(1, msg.Val(0, msg.Phase(i), msg.V0))
+			eps[1].Send(0, msg.Val(1, msg.Phase(i), msg.V1))
+		}
+	}()
+	for i := 0; i < count; i++ {
+		a := recvWithTimeout(t, eps[1])
+		if a.Phase != msg.Phase(i) {
+			t.Fatalf("p1 got phase %d want %d", a.Phase, i)
+		}
+		b := recvWithTimeout(t, eps[0])
+		if b.Phase != msg.Phase(i) {
+			t.Fatalf("p0 got phase %d want %d", b.Phase, i)
+		}
+	}
+}
+
+func TestSendToUnknownDestination(t *testing.T) {
+	eps := mesh(t, 2)
+	if err := eps[0].Send(9, msg.Message{}); err == nil {
+		t.Error("destination outside table accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndFast(t *testing.T) {
+	eps := mesh(t, 3)
+	// Generate some cross-traffic so accepted connections exist.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			eps[i].Send(msg.ID(j), msg.Val(0, 0, msg.V0))
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, ep := range eps {
+			ep.Close()
+			ep.Close() // idempotent
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked")
+	}
+}
+
+func TestListenRejectsBadID(t *testing.T) {
+	if _, err := Listen(5, []string{"127.0.0.1:0"}); err == nil {
+		t.Error("id outside table accepted")
+	}
+}
+
+func TestLargeGraphPayload(t *testing.T) {
+	eps := mesh(t, 2)
+	payload := make([]byte, 10000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := eps[0].Send(1, msg.Graph(0, 2, payload)); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, eps[1])
+	if len(got.Payload) != len(payload) {
+		t.Fatalf("payload length %d", len(got.Payload))
+	}
+	for i := range payload {
+		if got.Payload[i] != payload[i] {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestAddrFormat(t *testing.T) {
+	eps := mesh(t, 1)
+	var host string
+	var port int
+	if _, err := fmt.Sscanf(eps[0].Addr(), "%s", &host); err != nil && port == 0 {
+		t.Skip("addr parse not critical")
+	}
+	if eps[0].Addr() == "" {
+		t.Error("empty address")
+	}
+}

@@ -1,0 +1,141 @@
+// Package quorum centralizes the exact integer threshold arithmetic used by
+// the Bracha-Toueg consensus protocols.
+//
+// All thresholds from the paper are implemented with integer comparisons so
+// that no floating-point rounding can perturb protocol logic:
+//
+//   - "more than n/2"        -> 2*c > n
+//   - "more than (n+k)/2"    -> 2*c > n+k
+//   - "more than k"          -> c > k
+//   - fail-stop resilience   -> k <= (n-1)/2, i.e. n >= 2k+1
+//   - malicious resilience   -> k <= (n-1)/3, i.e. n >= 3k+1
+package quorum
+
+import "fmt"
+
+// FaultModel enumerates the two failure models investigated by the paper.
+type FaultModel int
+
+const (
+	// FailStop processes may only die (stop participating) without warning.
+	FailStop FaultModel = iota + 1
+	// Malicious processes may send false and contradictory messages, fail
+	// to send messages, and change their internal state arbitrarily.
+	Malicious
+)
+
+// String returns the conventional name of the fault model.
+func (m FaultModel) String() string {
+	switch m {
+	case FailStop:
+		return "fail-stop"
+	case Malicious:
+		return "malicious"
+	default:
+		return fmt.Sprintf("FaultModel(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined fault models.
+func (m FaultModel) Valid() bool {
+	return m == FailStop || m == Malicious
+}
+
+// MaxFaults returns the maximal k for which a k-resilient consensus protocol
+// exists with n processes under the given fault model: floor((n-1)/2) for
+// fail-stop and floor((n-1)/3) for malicious (Theorems 1-4 of the paper).
+func MaxFaults(n int, m FaultModel) int {
+	switch m {
+	case FailStop:
+		return (n - 1) / 2
+	case Malicious:
+		return (n - 1) / 3
+	default:
+		return 0
+	}
+}
+
+// MinProcesses returns the minimal n for which k faults are tolerable under
+// the given fault model: 2k+1 for fail-stop, 3k+1 for malicious.
+func MinProcesses(k int, m FaultModel) int {
+	switch m {
+	case FailStop:
+		return 2*k + 1
+	case Malicious:
+		return 3*k + 1
+	default:
+		return k + 1
+	}
+}
+
+// Check validates an (n, k) configuration against the resilience bound of the
+// fault model. It returns a descriptive error when the configuration is
+// outside the provable region.
+func Check(n, k int, m FaultModel) error {
+	if !m.Valid() {
+		return fmt.Errorf("quorum: unknown fault model %d", int(m))
+	}
+	if n < 1 {
+		return fmt.Errorf("quorum: need at least one process, got n=%d", n)
+	}
+	if k < 0 {
+		return fmt.Errorf("quorum: negative fault budget k=%d", k)
+	}
+	if max := MaxFaults(n, m); k > max {
+		return fmt.Errorf("quorum: k=%d exceeds the %s bound floor((n-1)/%d)=%d for n=%d",
+			k, m, divisorFor(m), max, n)
+	}
+	return nil
+}
+
+func divisorFor(m FaultModel) int {
+	if m == Malicious {
+		return 3
+	}
+	return 2
+}
+
+// ExceedsHalf reports whether count is strictly greater than n/2
+// ("more than n/2" in the paper -- the witness cardinality test of Figure 1).
+func ExceedsHalf(count, n int) bool {
+	return 2*count > n
+}
+
+// ExceedsHalfNPlusK reports whether count is strictly greater than (n+k)/2
+// (the echo-accept and decide thresholds of Figure 2).
+func ExceedsHalfNPlusK(count, n, k int) bool {
+	return 2*count > n+k
+}
+
+// EchoAcceptCount returns the least integer strictly greater than (n+k)/2 --
+// the number of matching echoes at which a Figure-2 process accepts a value.
+func EchoAcceptCount(n, k int) int {
+	return (n+k)/2 + 1
+}
+
+// WaitCount returns n-k, the number of messages each process waits for in a
+// phase before acting (both protocols).
+func WaitCount(n, k int) int {
+	return n - k
+}
+
+// WitnessDecide reports whether witnessCount suffices to decide in Figure 1
+// (strictly more than k witnesses).
+func WitnessDecide(witnessCount, k int) bool {
+	return witnessCount > k
+}
+
+// FastPropagation reports whether the configuration satisfies k < n/5, the
+// regime in which, per the Section 3.3 note, all correct processes decide
+// within one phase of the first correct decision.
+func FastPropagation(n, k int) bool {
+	return 5*k < n
+}
+
+// SupermajorityInput returns the least number of identical initial values
+// that guarantees a fast fixed decision: strictly more than (n+k)/2.
+// With that many equal inputs, Figure 1 decides within three phases and
+// Figure 2 within two (Sections 2.3 and 3.3 closing notes).
+func SupermajorityInput(n, k int) int {
+	return (n+k)/2 + 1
+}

@@ -1,0 +1,154 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFaultsMatchesPaperBounds(t *testing.T) {
+	cases := []struct {
+		n     int
+		model FaultModel
+		want  int
+	}{
+		{1, FailStop, 0}, {2, FailStop, 0}, {3, FailStop, 1},
+		{4, FailStop, 1}, {5, FailStop, 2}, {7, FailStop, 3}, {100, FailStop, 49},
+		{1, Malicious, 0}, {3, Malicious, 0}, {4, Malicious, 1},
+		{6, Malicious, 1}, {7, Malicious, 2}, {10, Malicious, 3}, {100, Malicious, 33},
+	}
+	for _, c := range cases {
+		if got := MaxFaults(c.n, c.model); got != c.want {
+			t.Errorf("MaxFaults(%d, %v) = %d, want %d", c.n, c.model, got, c.want)
+		}
+	}
+}
+
+func TestMinProcessesInvertsMaxFaults(t *testing.T) {
+	// Property: MinProcesses(k, m) is the least n with MaxFaults(n, m) >= k.
+	for _, m := range []FaultModel{FailStop, Malicious} {
+		for k := 0; k <= 50; k++ {
+			n := MinProcesses(k, m)
+			if MaxFaults(n, m) < k {
+				t.Fatalf("%v: MaxFaults(MinProcesses(%d)=%d) = %d < %d",
+					m, k, n, MaxFaults(n, m), k)
+			}
+			if n > 1 && MaxFaults(n-1, m) >= k {
+				t.Fatalf("%v: n=%d not minimal for k=%d", m, n, k)
+			}
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(7, 3, FailStop); err != nil {
+		t.Errorf("Check(7,3,failstop): %v", err)
+	}
+	if err := Check(7, 4, FailStop); err == nil {
+		t.Error("Check(7,4,failstop) should fail")
+	}
+	if err := Check(7, 2, Malicious); err != nil {
+		t.Errorf("Check(7,2,malicious): %v", err)
+	}
+	if err := Check(7, 3, Malicious); err == nil {
+		t.Error("Check(7,3,malicious) should fail")
+	}
+	if err := Check(0, 0, FailStop); err == nil {
+		t.Error("Check(0,0) should fail")
+	}
+	if err := Check(5, -1, FailStop); err == nil {
+		t.Error("negative k should fail")
+	}
+	if err := Check(5, 1, FaultModel(99)); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestExceedsHalfIsExact(t *testing.T) {
+	// Property: ExceedsHalf(c, n) iff float comparison c > n/2, without the
+	// float: verified against rational arithmetic.
+	f := func(c, n uint8) bool {
+		return ExceedsHalf(int(c), int(n)) == (2*int(c) > int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Boundary cases.
+	if ExceedsHalf(2, 4) {
+		t.Error("2 is not more than half of 4")
+	}
+	if !ExceedsHalf(3, 4) {
+		t.Error("3 is more than half of 4")
+	}
+	if !ExceedsHalf(3, 5) {
+		t.Error("3 is more than half of 5")
+	}
+}
+
+func TestEchoAcceptCountIsMinimalExceeder(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 0; k <= n/3; k++ {
+			c := EchoAcceptCount(n, k)
+			if !ExceedsHalfNPlusK(c, n, k) {
+				t.Fatalf("n=%d k=%d: EchoAcceptCount %d does not exceed (n+k)/2", n, k, c)
+			}
+			if ExceedsHalfNPlusK(c-1, n, k) {
+				t.Fatalf("n=%d k=%d: %d already exceeds (n+k)/2; %d not minimal", n, k, c-1, c)
+			}
+		}
+	}
+}
+
+func TestEchoQuorumIntersection(t *testing.T) {
+	// The Theorem 4 consistency argument: two accept-quorums of size
+	// > (n+k)/2 intersect in more than k processes, hence in at least one
+	// correct process. Verify the arithmetic for all small configurations.
+	for n := 4; n <= 60; n++ {
+		for k := 0; k <= MaxFaults(n, Malicious); k++ {
+			q := EchoAcceptCount(n, k)
+			overlap := 2*q - n
+			if overlap <= k {
+				t.Fatalf("n=%d k=%d: quorums of %d overlap in %d <= k", n, k, q, overlap)
+			}
+		}
+	}
+}
+
+func TestWaitCountExceedsEchoThreshold(t *testing.T) {
+	// Deadlock-freedom needs n-k > (n+k)/2, which holds iff n > 3k.
+	for n := 4; n <= 60; n++ {
+		for k := 0; k <= MaxFaults(n, Malicious); k++ {
+			if !ExceedsHalfNPlusK(WaitCount(n, k), n, k) {
+				t.Fatalf("n=%d k=%d: n-k=%d does not exceed (n+k)/2", n, k, WaitCount(n, k))
+			}
+		}
+	}
+}
+
+func TestSupermajorityInputConsistent(t *testing.T) {
+	for n := 2; n <= 50; n++ {
+		for k := 0; k <= MaxFaults(n, FailStop); k++ {
+			s := SupermajorityInput(n, k)
+			if !ExceedsHalfNPlusK(s, n, k) || ExceedsHalfNPlusK(s-1, n, k) {
+				t.Fatalf("n=%d k=%d: SupermajorityInput %d not minimal exceeder", n, k, s)
+			}
+		}
+	}
+}
+
+func TestFastPropagation(t *testing.T) {
+	if !FastPropagation(11, 2) {
+		t.Error("k=2 < 11/5 should be fast")
+	}
+	if FastPropagation(10, 2) {
+		t.Error("k=2 = 10/5 is not strictly less")
+	}
+}
+
+func TestFaultModelStrings(t *testing.T) {
+	if FailStop.String() != "fail-stop" || Malicious.String() != "malicious" {
+		t.Error("unexpected model names")
+	}
+	if FaultModel(42).Valid() {
+		t.Error("42 should not be a valid model")
+	}
+}

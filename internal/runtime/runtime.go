@@ -1,0 +1,507 @@
+// Package runtime is the deterministic discrete-event execution engine.
+//
+// It realizes the paper's system model (Section 2.1): processes take atomic
+// steps -- receive a message, compute, send a finite set of messages -- and
+// the message system delivers every sent message after a delay chosen by a
+// pluggable scheduler. All nondeterminism flows through a single seeded
+// random source, so a (Config, Seed) pair identifies exactly one execution;
+// the stochastic schedulers realize the probabilistic delivery assumption of
+// Section 2.3, and scripted schedulers realize the adversaries of the
+// impossibility proofs.
+//
+// The engine supports fail-stop fault injection (death at any phase, even in
+// the middle of a broadcast), Byzantine machines (via the Spawner), sender
+// authentication (the engine stamps the true sender on every message),
+// tracing, per-run metrics, and stall detection.
+package runtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"resilient/internal/core"
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+	"resilient/internal/sched"
+	"resilient/internal/trace"
+)
+
+// DefaultMaxEvents bounds the number of delivery events processed before the
+// engine declares the run stalled; it is generous enough for every
+// experiment in this repository at its configured sizes.
+const DefaultMaxEvents = 20_000_000
+
+// SpawnContext is everything a Spawner may use to build one process.
+type SpawnContext struct {
+	// Config is the per-process protocol configuration.
+	Config core.Config
+	// RNG is a process-private random source (e.g. for Ben-Or's coin).
+	RNG *rand.Rand
+	// World is the omniscient view; honest machines must ignore it.
+	World core.WorldView
+	// Sink receives trace events.
+	Sink trace.Sink
+	// Byzantine reports whether this process was listed in Config.Byzantine.
+	Byzantine bool
+}
+
+// Spawner builds the protocol machine for one process.
+type Spawner func(ctx SpawnContext) (core.Machine, error)
+
+// Config describes one execution.
+type Config struct {
+	// N is the number of processes and K the protocol fault parameter.
+	N, K int
+	// Inputs holds the initial values i_p; len(Inputs) must equal N.
+	Inputs []msg.Value
+	// Spawn builds each process's machine.
+	Spawn Spawner
+	// Byzantine marks processes whose machines play an adversary role;
+	// they are excluded from agreement/termination accounting.
+	Byzantine map[msg.ID]bool
+	// Crashes is the fail-stop fault plan.
+	Crashes faults.Plan
+	// Scheduler assigns message delays; defaults to Uniform[0.1, 1].
+	Scheduler sched.Scheduler
+	// Seed determines the execution.
+	Seed uint64
+	// Sink receives trace events; nil disables tracing.
+	Sink trace.Sink
+	// MaxEvents bounds processed deliveries (0 = DefaultMaxEvents).
+	MaxEvents int
+	// MaxSimTime stops the run once simulated time passes this horizon
+	// (0 = unlimited). Used by the partition experiments, whose event
+	// queues never drain.
+	MaxSimTime float64
+	// RunToCompletion keeps processing events after every correct process
+	// has decided (for message-complexity measurements). By default the
+	// run stops at the moment of the last correct decision.
+	RunToCompletion bool
+	// AllowForgery disables sender authentication: messages keep whatever
+	// From field their sender wrote. The paper requires authentication for
+	// the malicious case ("the message system must provide a way for
+	// correct processes to verify the identity of the sender", Section
+	// 3.1); this switch exists to demonstrate WHY -- see the E12
+	// impersonation ablation, where a single forger splits the system.
+	AllowForgery bool
+}
+
+func (c *Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("runtime: need n >= 1, got %d", c.N)
+	}
+	if c.K < 0 || c.K >= c.N {
+		return fmt.Errorf("runtime: need 0 <= k < n, got k=%d n=%d", c.K, c.N)
+	}
+	if len(c.Inputs) != c.N {
+		return fmt.Errorf("runtime: %d inputs for %d processes", len(c.Inputs), c.N)
+	}
+	for i, v := range c.Inputs {
+		if !v.Valid() {
+			return fmt.Errorf("runtime: invalid input %d for p%d", v, i)
+		}
+	}
+	if c.Spawn == nil {
+		return errors.New("runtime: nil Spawner")
+	}
+	if err := c.Crashes.Validate(c.N); err != nil {
+		return err
+	}
+	for id := range c.Byzantine {
+		if id < 0 || int(id) >= c.N {
+			return fmt.Errorf("runtime: byzantine id p%d outside 0..%d", id, c.N-1)
+		}
+	}
+	return nil
+}
+
+// StallReason explains why a run ended without all correct processes
+// deciding.
+type StallReason int
+
+const (
+	// NotStalled means the run completed normally.
+	NotStalled StallReason = iota
+	// QueueDrained means no messages remained yet some correct process had
+	// not decided: a genuine deadlock.
+	QueueDrained
+	// EventBudget means MaxEvents was exhausted: livelock or a run far
+	// longer than expected.
+	EventBudget
+	// TimeHorizon means MaxSimTime was reached.
+	TimeHorizon
+)
+
+// String names the reason.
+func (r StallReason) String() string {
+	switch r {
+	case NotStalled:
+		return "not stalled"
+	case QueueDrained:
+		return "queue drained (deadlock)"
+	case EventBudget:
+		return "event budget exhausted"
+	case TimeHorizon:
+		return "time horizon reached"
+	default:
+		return fmt.Sprintf("StallReason(%d)", int(r))
+	}
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Decisions maps every non-Byzantine process that decided to its value.
+	Decisions map[msg.ID]msg.Value
+	// DecisionPhase maps deciders to the phase in which they decided.
+	DecisionPhase map[msg.ID]msg.Phase
+	// DecisionTime maps deciders to the simulation time of their decision.
+	DecisionTime map[msg.ID]float64
+	// Agreement reports whether all recorded decisions are equal.
+	Agreement bool
+	// Value is the common decision when Agreement holds and at least one
+	// process decided.
+	Value msg.Value
+	// AllDecided reports whether every correct (non-Byzantine, non-crashed)
+	// process decided.
+	AllDecided bool
+	// Stalled is non-zero when the run ended without AllDecided.
+	Stalled StallReason
+	// MessagesSent counts individual point-to-point sends (a broadcast to
+	// n processes counts n).
+	MessagesSent int
+	// MessagesDelivered counts messages actually consumed by machines.
+	MessagesDelivered int
+	// Events counts processed delivery events, including drops.
+	Events int
+	// SimTime is the simulation clock at the end of the run.
+	SimTime float64
+	// MaxPhase is the largest phase any non-Byzantine machine reached.
+	MaxPhase msg.Phase
+	// Crashed lists processes that died during the run.
+	Crashed []msg.ID
+}
+
+// DecidedCount returns the number of recorded decisions.
+func (r *Result) DecidedCount() int { return len(r.Decisions) }
+
+// event is one pending delivery.
+type event struct {
+	at  float64
+	seq uint64
+	to  msg.ID
+	m   msg.Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// runner holds one execution's state.
+type runner struct {
+	cfg      Config
+	rng      *rand.Rand
+	sink     trace.Sink
+	sch      sched.Scheduler
+	machines []core.Machine
+	trackers []*faults.Tracker
+	crashed  []bool
+	now      float64
+	seq      uint64
+	queue    eventHeap
+	result   *Result
+	// correct[i] reports whether process i counts toward agreement.
+	correct []bool
+	// mustDecide counts correct, crash-free processes yet to decide.
+	mustDecide int
+	decided    []bool
+}
+
+type worldView struct{ r *runner }
+
+var _ core.WorldView = worldView{}
+
+func (w worldView) N() int { return w.r.cfg.N }
+func (w worldView) K() int { return w.r.cfg.K }
+
+func (w worldView) CorrectValueCounts() (zeros, ones int) {
+	for i, m := range w.r.machines {
+		if !w.r.correct[i] || w.r.isDead(msg.ID(i)) {
+			continue
+		}
+		if vr, ok := m.(core.ValueReporter); ok {
+			if vr.CurrentValue() == msg.V1 {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+	}
+	return zeros, ones
+}
+
+func (w worldView) CorrectDecidedCounts() (zeros, ones int) {
+	for i, m := range w.r.machines {
+		if !w.r.correct[i] {
+			continue
+		}
+		if v, ok := m.Decided(); ok {
+			if v == msg.V1 {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+	}
+	return zeros, ones
+}
+
+// Run executes one configuration to completion and returns its result.
+// An error indicates an invalid configuration or a Spawner failure, never a
+// protocol misbehaviour: those are reported through the Result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		sink:     cfg.Sink,
+		sch:      cfg.Scheduler,
+		machines: make([]core.Machine, cfg.N),
+		trackers: make([]*faults.Tracker, cfg.N),
+		crashed:  make([]bool, cfg.N),
+		correct:  make([]bool, cfg.N),
+		decided:  make([]bool, cfg.N),
+		result: &Result{
+			Decisions:     make(map[msg.ID]msg.Value),
+			DecisionPhase: make(map[msg.ID]msg.Phase),
+			DecisionTime:  make(map[msg.ID]float64),
+		},
+	}
+	if r.sink == nil {
+		r.sink = trace.Nop{}
+	}
+	if r.sch == nil {
+		r.sch = sched.Uniform{Min: 0.1, Max: 1}
+	}
+	world := worldView{r: r}
+	for i := 0; i < cfg.N; i++ {
+		id := msg.ID(i)
+		byz := cfg.Byzantine[id]
+		r.correct[i] = !byz
+		if !byz {
+			if _, crashes := cfg.Crashes[id]; !crashes {
+				r.mustDecide++
+			}
+		}
+		pcg := rand.NewPCG(cfg.Seed^uint64(i+1)*0xbf58476d1ce4e5b9, uint64(i)+cfg.Seed)
+		m, err := cfg.Spawn(SpawnContext{
+			Config:    core.Config{N: cfg.N, K: cfg.K, Self: id, Input: cfg.Inputs[i]},
+			RNG:       rand.New(pcg),
+			World:     world,
+			Sink:      r.sink,
+			Byzantine: byz,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spawn p%d: %w", i, err)
+		}
+		if m == nil {
+			return nil, fmt.Errorf("spawn p%d: nil machine", i)
+		}
+		r.machines[i] = m
+		r.trackers[i] = faults.NewTracker(cfg.Crashes, id)
+	}
+	// Initial steps.
+	for i, m := range r.machines {
+		r.noteProgress(msg.ID(i)) // a process may be planned to die before starting
+		r.dispatch(msg.ID(i), m.Start())
+		r.checkDecision(msg.ID(i))
+	}
+	r.loop()
+	r.finish()
+	return r.result, nil
+}
+
+func (r *runner) isDead(id msg.ID) bool {
+	return r.crashed[id] || r.trackers[id].Dead()
+}
+
+// noteProgress lets the fault tracker observe the process's phase, killing
+// it if its planned crash point has been passed without sends.
+func (r *runner) noteProgress(id msg.ID) {
+	t := r.trackers[id]
+	wasDead := t.Dead()
+	t.CheckPhase(r.machines[id].Phase())
+	if t.Dead() && !wasDead {
+		r.markCrashed(id)
+	}
+}
+
+func (r *runner) markCrashed(id msg.ID) {
+	if r.crashed[id] {
+		return
+	}
+	r.crashed[id] = true
+	r.result.Crashed = append(r.result.Crashed, id)
+	r.sink.Record(trace.Event{
+		Time: r.now, Kind: trace.EventCrash, Process: id,
+		Phase: r.machines[id].Phase(),
+	})
+}
+
+// dispatch expands and enqueues the sends produced by one machine step,
+// applying the sender's crash plan to each individual point-to-point send.
+func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
+	tracker := r.trackers[from]
+	phase := r.machines[from].Phase()
+	for _, o := range outs {
+		if !r.cfg.AllowForgery {
+			o.Msg.From = from // authenticated sender: forgery is impossible
+		}
+		if o.To != msg.Broadcast {
+			if int(o.To) < 0 || int(o.To) >= r.cfg.N {
+				continue
+			}
+			if !tracker.AllowSend(phase) {
+				r.markCrashed(from)
+				return
+			}
+			r.enqueue(from, o.To, o.Msg)
+			continue
+		}
+		// Broadcast in random recipient order, so that a mid-broadcast
+		// death reaches a random subset of processes.
+		for _, q := range r.rng.Perm(r.cfg.N) {
+			if !tracker.AllowSend(phase) {
+				r.markCrashed(from)
+				return
+			}
+			r.enqueue(from, msg.ID(q), o.Msg)
+		}
+	}
+}
+
+func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
+	d := sched.Clamp(r.sch.Delay(from, to, m, r.now, r.rng))
+	r.seq++
+	heap.Push(&r.queue, event{at: r.now + d, seq: r.seq, to: to, m: m})
+	r.result.MessagesSent++
+	r.sink.Record(trace.Event{
+		Time: r.now, Kind: trace.EventSend, Process: from,
+		Phase: m.Phase, Value: m.Value,
+		Note: fmt.Sprintf("%s -> p%d", m.Kind, to),
+	})
+}
+
+func (r *runner) loop() {
+	maxEvents := r.cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	for {
+		if r.mustDecide == 0 && !r.cfg.RunToCompletion {
+			return
+		}
+		if r.result.Events >= maxEvents {
+			r.result.Stalled = EventBudget
+			return
+		}
+		next, ok := r.queue.Peek()
+		if !ok {
+			if r.mustDecide > 0 {
+				r.result.Stalled = QueueDrained
+			}
+			return
+		}
+		if r.cfg.MaxSimTime > 0 && next.at > r.cfg.MaxSimTime {
+			if r.mustDecide > 0 {
+				r.result.Stalled = TimeHorizon
+			}
+			return
+		}
+		e := heap.Pop(&r.queue).(event)
+		r.now = e.at
+		r.result.Events++
+		r.deliver(e)
+	}
+}
+
+func (r *runner) deliver(e event) {
+	id := e.to
+	m := r.machines[id]
+	if r.isDead(id) || m.Halted() {
+		return
+	}
+	r.result.MessagesDelivered++
+	r.sink.Record(trace.Event{
+		Time: r.now, Kind: trace.EventDeliver, Process: id,
+		Phase: e.m.Phase, Value: e.m.Value,
+		Note: fmt.Sprintf("%s from p%d", e.m.Kind, e.m.From),
+	})
+	outs := m.OnMessage(e.m)
+	r.noteProgress(id)
+	if !r.isDead(id) {
+		r.dispatch(id, outs)
+	}
+	r.checkDecision(id)
+	if p := m.Phase(); r.correct[id] && p > r.result.MaxPhase {
+		r.result.MaxPhase = p
+	}
+}
+
+func (r *runner) checkDecision(id msg.ID) {
+	if r.decided[id] || !r.correct[id] {
+		return
+	}
+	v, ok := r.machines[id].Decided()
+	if !ok {
+		return
+	}
+	r.decided[id] = true
+	r.result.Decisions[id] = v
+	r.result.DecisionPhase[id] = r.machines[id].Phase()
+	r.result.DecisionTime[id] = r.now
+	if _, crashes := r.cfg.Crashes[id]; !crashes && !r.crashed[id] {
+		r.mustDecide--
+	}
+}
+
+func (r *runner) finish() {
+	res := r.result
+	res.SimTime = r.now
+	res.AllDecided = r.mustDecide == 0
+	res.Agreement = true
+	first := true
+	for _, v := range res.Decisions {
+		if first {
+			res.Value = v
+			first = false
+			continue
+		}
+		if v != res.Value {
+			res.Agreement = false
+			break
+		}
+	}
+	if first {
+		// Nobody decided: vacuous agreement, but flag it via AllDecided.
+		res.Agreement = true
+	}
+}

@@ -1,0 +1,156 @@
+// Package sched defines message-delivery scheduling policies for the
+// discrete-event engine. A Scheduler assigns each message a delivery delay;
+// because the engine is single-threaded and the scheduler is the only source
+// of nondeterminism, a (scheduler, seed) pair fully determines an execution.
+//
+// The stochastic schedulers realize the paper's probabilistic assumption
+// (Section 2.3): under any of them, every possible (n-k)-subset of a phase's
+// messages has positive probability of forming a process's view, which is
+// exactly the epsilon-assumption the convergence proofs need.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"resilient/internal/msg"
+)
+
+// Scheduler assigns a delivery delay (in abstract simulation time units,
+// strictly positive) to each message.
+type Scheduler interface {
+	// Delay returns the delivery latency for a message sent from -> to at
+	// simulation time now. Implementations draw randomness only from rng.
+	Delay(from, to msg.ID, m msg.Message, now float64, rng *rand.Rand) float64
+}
+
+// Uniform delivers each message after an independent uniform delay in
+// [Min, Max]. It is the default scheduler.
+type Uniform struct {
+	Min, Max float64
+}
+
+// Delay implements Scheduler.
+func (u Uniform) Delay(_, _ msg.ID, _ msg.Message, _ float64, rng *rand.Rand) float64 {
+	lo, hi := u.Min, u.Max
+	if lo <= 0 {
+		lo = minDelay
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+var _ Scheduler = Uniform{}
+
+// Exponential delivers each message after an independent exponential delay
+// with the given mean, modelling heavy-tailed network latency.
+type Exponential struct {
+	Mean float64
+}
+
+// Delay implements Scheduler.
+func (e Exponential) Delay(_, _ msg.ID, _ msg.Message, _ float64, rng *rand.Rand) float64 {
+	mean := e.Mean
+	if mean <= 0 {
+		mean = 1
+	}
+	d := rng.ExpFloat64() * mean
+	if d < minDelay {
+		d = minDelay
+	}
+	return d
+}
+
+var _ Scheduler = Exponential{}
+
+// Constant delivers every message after the same fixed delay, yielding an
+// effectively synchronous lock-step execution.
+type Constant struct {
+	D float64
+}
+
+// Delay implements Scheduler.
+func (c Constant) Delay(_, _ msg.ID, _ msg.Message, _ float64, _ *rand.Rand) float64 {
+	if c.D <= 0 {
+		return 1
+	}
+	return c.D
+}
+
+var _ Scheduler = Constant{}
+
+// Skewed delays messages *to* slow processes by an extra factor, creating
+// persistent stragglers: a stress test for the protocols' indifference to
+// which n-k messages arrive first.
+type Skewed struct {
+	Base       Scheduler
+	SlowSet    map[msg.ID]bool
+	SlowFactor float64
+}
+
+// Delay implements Scheduler.
+func (s Skewed) Delay(from, to msg.ID, m msg.Message, now float64, rng *rand.Rand) float64 {
+	base := s.Base
+	if base == nil {
+		base = Uniform{Min: 0.1, Max: 1}
+	}
+	d := base.Delay(from, to, m, now, rng)
+	if s.SlowSet[to] {
+		f := s.SlowFactor
+		if f < 1 {
+			f = 1
+		}
+		d *= f
+	}
+	return d
+}
+
+var _ Scheduler = Skewed{}
+
+// Func adapts a plain function to the Scheduler interface, for tests and
+// scripted adversaries.
+type Func func(from, to msg.ID, m msg.Message, now float64, rng *rand.Rand) float64
+
+// Delay implements Scheduler.
+func (f Func) Delay(from, to msg.ID, m msg.Message, now float64, rng *rand.Rand) float64 {
+	return f(from, to, m, now, rng)
+}
+
+var _ Scheduler = Func(nil)
+
+// Clamp wraps a delay so it is finite and strictly positive; engines apply
+// it to every scheduler result so a buggy policy cannot stall the event
+// queue with zero, negative, NaN or infinite delays.
+func Clamp(d float64) float64 {
+	if math.IsNaN(d) || d < minDelay {
+		return minDelay
+	}
+	if math.IsInf(d, +1) || d > maxDelay {
+		return maxDelay
+	}
+	return d
+}
+
+const (
+	minDelay = 1e-9
+	maxDelay = 1e12
+)
+
+// Name returns a human-readable description for known scheduler types.
+func Name(s Scheduler) string {
+	switch v := s.(type) {
+	case Uniform:
+		return fmt.Sprintf("uniform[%.2g,%.2g]", v.Min, v.Max)
+	case Exponential:
+		return fmt.Sprintf("exp(mean=%.2g)", v.Mean)
+	case Constant:
+		return fmt.Sprintf("const(%.2g)", v.D)
+	case Skewed:
+		return fmt.Sprintf("skewed(x%.2g over %s)", v.SlowFactor, Name(v.Base))
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

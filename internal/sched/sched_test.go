@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestUniformWithinBounds(t *testing.T) {
+	u := Uniform{Min: 0.5, Max: 2.5}
+	r := rng()
+	for i := 0; i < 10000; i++ {
+		d := u.Delay(0, 1, msg.Message{}, 0, r)
+		if d < 0.5 || d > 2.5 {
+			t.Fatalf("delay %v outside [0.5, 2.5]", d)
+		}
+	}
+}
+
+func TestUniformDegenerateBounds(t *testing.T) {
+	r := rng()
+	// Zero min becomes a tiny positive value; max < min collapses.
+	u := Uniform{Min: 0, Max: 0}
+	for i := 0; i < 100; i++ {
+		if d := u.Delay(0, 1, msg.Message{}, 0, r); d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+	}
+	u2 := Uniform{Min: 5, Max: 1}
+	for i := 0; i < 100; i++ {
+		if d := u2.Delay(0, 1, msg.Message{}, 0, r); d != 5 {
+			t.Fatalf("collapsed bounds gave %v", d)
+		}
+	}
+}
+
+func TestExponentialPositiveAndMean(t *testing.T) {
+	e := Exponential{Mean: 2}
+	r := rng()
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := e.Delay(0, 1, msg.Message{}, 0, r)
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+		sum += d
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean %v, want ~2", mean)
+	}
+	// Zero mean defaults to 1.
+	e0 := Exponential{}
+	if d := e0.Delay(0, 1, msg.Message{}, 0, r); d <= 0 {
+		t.Error("zero-mean exponential non-positive")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{D: 3}
+	if d := c.Delay(0, 1, msg.Message{}, 0, rng()); d != 3 {
+		t.Errorf("delay %v", d)
+	}
+	if d := (Constant{}).Delay(0, 1, msg.Message{}, 0, rng()); d != 1 {
+		t.Errorf("zero-value constant gave %v", d)
+	}
+}
+
+func TestSkewedSlowsTargets(t *testing.T) {
+	s := Skewed{
+		Base:       Constant{D: 1},
+		SlowSet:    map[msg.ID]bool{3: true},
+		SlowFactor: 10,
+	}
+	r := rng()
+	if d := s.Delay(0, 3, msg.Message{}, 0, r); d != 10 {
+		t.Errorf("slow target delay %v", d)
+	}
+	if d := s.Delay(0, 2, msg.Message{}, 0, r); d != 1 {
+		t.Errorf("fast target delay %v", d)
+	}
+	// Factor below 1 clamps to 1; nil base defaults.
+	s2 := Skewed{SlowSet: map[msg.ID]bool{1: true}, SlowFactor: 0.5}
+	if d := s2.Delay(0, 1, msg.Message{}, 0, r); d <= 0 {
+		t.Errorf("clamped factor delay %v", d)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func(func(from, to msg.ID, m msg.Message, now float64, rng *rand.Rand) float64 {
+		return float64(from) + float64(to)
+	})
+	if d := f.Delay(2, 3, msg.Message{}, 0, rng()); d != 5 {
+		t.Errorf("func adapter gave %v", d)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1},
+		{0, minDelay},
+		{-5, minDelay},
+		{math.NaN(), minDelay},
+		{math.Inf(1), maxDelay},
+		{1e300, maxDelay},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	for _, s := range []Scheduler{
+		Uniform{Min: 1, Max: 2}, Exponential{Mean: 3}, Constant{D: 1},
+		Skewed{Base: Constant{D: 1}}, Func(nil),
+	} {
+		if Name(s) == "" {
+			t.Errorf("empty name for %T", s)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: online mean/variance accumulation (Welford), normal-approximation
+// confidence intervals, quantiles, and integer histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator collects samples and produces summary statistics. The zero
+// value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples recorded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 {
+	return math.Sqrt(a.Variance())
+}
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (a *Accumulator) CI95() float64 {
+	return 1.96 * a.StdErr()
+}
+
+// Summary is an immutable snapshot of an Accumulator.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize snapshots the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		N:      a.n,
+		Mean:   a.mean,
+		StdDev: a.StdDev(),
+		CI95:   a.CI95(),
+		Min:    a.min,
+		Max:    a.max,
+	}
+}
+
+// String renders the summary as "mean ± ci95 (min..max, n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (min %.0f, max %.0f, n=%d)",
+		s.Mean, s.CI95, s.Min, s.Max, s.N)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples using
+// linear interpolation. The input slice is not modified.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IntHistogram counts occurrences of small non-negative integers, such as
+// phases-to-decision.
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns how many times v was observed.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Keys returns the observed values in ascending order.
+func (h *IntHistogram) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Fraction returns the empirical probability of v.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Mean returns the mean of the observations.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *IntHistogram) Max() int {
+	max := 0
+	first := true
+	for v := range h.counts {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	return max
+}
+
+// String renders the histogram as "v:count v:count ...".
+func (h *IntHistogram) String() string {
+	var b strings.Builder
+	for i, k := range h.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h.counts[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+// Package sweep runs independent jobs concurrently with bounded
+// parallelism, preserving result order and failing fast on the first error.
+// The experiment harness uses it to spread seeded trials -- which are
+// deterministic per (row, trial) index and therefore order-independent --
+// across cores.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run executes job(0..n-1) using at most workers goroutines (0 = GOMAXPROCS)
+// and returns the results in index order. The first error cancels the
+// remaining jobs (already-started jobs finish) and is returned.
+func Run[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if job == nil {
+		return nil, fmt.Errorf("sweep: nil job")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r, err := job(i)
+				if err != nil {
+					fail(fmt.Errorf("sweep job %d: %w", i, err))
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

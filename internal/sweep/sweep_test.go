@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrderPreserved(t *testing.T) {
+	got, err := Run(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunSerialPath(t *testing.T) {
+	got, err := Run(10, 1, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 10 {
+		t.Fatalf("%v %v", got, err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("%v %v", got, err)
+	}
+}
+
+func TestRunNilJob(t *testing.T) {
+	if _, err := Run[int](3, 2, nil); err == nil {
+		t.Fatal("nil job accepted")
+	}
+}
+
+func TestRunErrorFailsFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Run(1000, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v", err)
+	}
+	if ran.Load() >= 1000 {
+		t.Error("no early cancellation")
+	}
+}
+
+func TestRunEveryJobOnce(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%50) + 1
+		var count atomic.Int64
+		seen := make([]atomic.Bool, n)
+		_, err := Run(n, 7, func(i int) (struct{}, error) {
+			count.Add(1)
+			if seen[i].Swap(true) {
+				return struct{}{}, errors.New("duplicate")
+			}
+			return struct{}{}, nil
+		})
+		return err == nil && count.Load() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	// workers > n and workers <= 0 both work.
+	if _, err := Run(3, 100, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(3, 0, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+}

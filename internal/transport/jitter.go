@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"resilient/internal/msg"
+)
+
+// Jitter wraps an in-memory message system with random per-message delivery
+// delays. It realizes the paper's probabilistic assumption on the message
+// system (Section 2.3: every possible view has probability at least epsilon
+// of being the one seen) in the live goroutine engine, where raw mailbox
+// FIFO order is otherwise close to deterministic -- deterministic enough, in
+// fact, to livelock the Section 4.1 majority variant on a balanced input,
+// which is a faithful reenactment of why the assumption is needed.
+type Jitter struct {
+	mem *Mem
+	max time.Duration
+
+	mu     sync.RWMutex // guards closed against the Add/Wait race
+	closed bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wg sync.WaitGroup
+}
+
+// NewJitter returns a jittered message system for n processes with delays
+// uniform in (0, max]. seed determines the delay sequence.
+func NewJitter(n int, max time.Duration, seed uint64) *Jitter {
+	if max <= 0 {
+		max = time.Millisecond
+	}
+	return &Jitter{
+		mem: NewMem(n),
+		max: max,
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// N returns the number of processes.
+func (j *Jitter) N() int { return j.mem.N() }
+
+// Conn returns the endpoint for process id.
+func (j *Jitter) Conn(id msg.ID) (Conn, error) {
+	inner, err := j.mem.Conn(id)
+	if err != nil {
+		return nil, err
+	}
+	return &jitterConn{j: j, inner: inner}, nil
+}
+
+// Close shuts the system down and waits for in-flight deliveries to drain.
+func (j *Jitter) Close() {
+	j.mu.Lock()
+	j.closed = true
+	j.mu.Unlock()
+	j.mem.Close()
+	j.wg.Wait()
+}
+
+func (j *Jitter) delay() time.Duration {
+	j.rngMu.Lock()
+	defer j.rngMu.Unlock()
+	return time.Duration(j.rng.Int64N(int64(j.max))) + 1
+}
+
+type jitterConn struct {
+	j     *Jitter
+	inner Conn
+}
+
+var _ Conn = (*jitterConn)(nil)
+
+func (c *jitterConn) ID() msg.ID { return c.inner.ID() }
+
+// Send schedules an asynchronous delivery after a random delay. Delivery
+// errors after the delay are deliberately dropped: a message to a closed
+// endpoint is indistinguishable from a slow one, matching the model.
+func (c *jitterConn) Send(to msg.ID, m msg.Message) error {
+	c.j.mu.RLock()
+	defer c.j.mu.RUnlock()
+	if c.j.closed {
+		return ErrClosed
+	}
+	d := c.j.delay()
+	c.j.wg.Add(1)
+	time.AfterFunc(d, func() {
+		defer c.j.wg.Done()
+		_ = c.inner.Send(to, m)
+	})
+	return nil
+}
+
+func (c *jitterConn) Recv() (msg.Message, error) {
+	return c.inner.Recv()
+}
+
+func (c *jitterConn) Close() error {
+	return c.inner.Close()
+}

@@ -1,0 +1,197 @@
+// Package resilient is a from-scratch Go implementation of the consensus
+// protocols of Gabriel Bracha and Sam Toueg, "Resilient Consensus
+// Protocols" (PODC 1983): probabilistically terminating binary consensus
+// for fully asynchronous systems, tolerating up to floor((n-1)/2) fail-stop
+// processes (Figure 1) or floor((n-1)/3) malicious processes (Figure 2) --
+// both bounds tight (Theorems 1-4).
+//
+// The package offers three ways to run a protocol:
+//
+//   - Simulate: a deterministic discrete-event simulation with fault
+//     injection, adversarial scheduling, and full metrics (the tool the
+//     experiments are built on).
+//   - RunCluster / RunTCPCluster: a live goroutine-per-process execution
+//     over an in-memory message system or real TCP sockets.
+//   - NewMachine: raw protocol state machines, for embedding in a custom
+//     engine.
+//
+// The analysis side of the paper (Section 4) is exposed through the
+// Analyze* and Estimate* functions: exact Markov-chain absorption times,
+// the paper's closed-form bounds, and fast Monte-Carlo estimation.
+package resilient
+
+import (
+	"fmt"
+
+	"resilient/internal/benor"
+	"resilient/internal/bivalence"
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/majority"
+	"resilient/internal/malicious"
+	"resilient/internal/msg"
+	"resilient/internal/quorum"
+)
+
+// Value is a binary consensus value (0 or 1).
+type Value = msg.Value
+
+// Convenience values.
+const (
+	V0 = msg.V0
+	V1 = msg.V1
+)
+
+// ID identifies a process (0..n-1).
+type ID = msg.ID
+
+// Phase is a protocol phase number.
+type Phase = msg.Phase
+
+// Machine is a protocol instance at a single process; see the core package
+// contract: Start once, then OnMessage per delivery, never concurrently.
+type Machine = core.Machine
+
+// FaultModel selects the failure assumptions.
+type FaultModel = quorum.FaultModel
+
+// Fault models.
+const (
+	// FailStop processes may only die, without warning.
+	FailStop = quorum.FailStop
+	// Malicious processes may lie, equivocate, and coordinate.
+	Malicious = quorum.Malicious
+)
+
+// Protocol selects a consensus protocol implementation.
+type Protocol int
+
+const (
+	// ProtocolFailStop is the Figure 1 protocol: witness messages,
+	// k <= floor((n-1)/2) fail-stop faults.
+	ProtocolFailStop Protocol = iota + 1
+	// ProtocolMalicious is the Figure 2 protocol: authenticated echo
+	// broadcast, k <= floor((n-1)/3) malicious faults.
+	ProtocolMalicious
+	// ProtocolMajority is the Section 4.1 analysis variant: plain value
+	// exchange, majority adoption, supermajority decision (fail-stop).
+	ProtocolMajority
+	// ProtocolBenOrCrash is the [BenO83] baseline for fail-stop faults.
+	ProtocolBenOrCrash
+	// ProtocolBenOrByzantine is the [BenO83] baseline for malicious
+	// faults (requires 5k < n).
+	ProtocolBenOrByzantine
+	// ProtocolBivalence is the Section 5 weak-bivalence protocol for
+	// initially-dead faults (tolerates any k < n).
+	ProtocolBivalence
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolFailStop:
+		return "failstop(fig1)"
+	case ProtocolMalicious:
+		return "malicious(fig2)"
+	case ProtocolMajority:
+		return "majority(s4.1)"
+	case ProtocolBenOrCrash:
+		return "benor-crash"
+	case ProtocolBenOrByzantine:
+		return "benor-byzantine"
+	case ProtocolBivalence:
+		return "bivalence(s5)"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Valid reports whether p names a protocol.
+func (p Protocol) Valid() bool {
+	return p >= ProtocolFailStop && p <= ProtocolBivalence
+}
+
+// Model returns the fault model a protocol is designed for.
+func (p Protocol) Model() FaultModel {
+	switch p {
+	case ProtocolMalicious, ProtocolBenOrByzantine:
+		return Malicious
+	default:
+		return FailStop
+	}
+}
+
+// MaxFaults returns the largest tolerable k for the protocol at system size
+// n: floor((n-1)/2) for the fail-stop protocols, floor((n-1)/3) for the
+// malicious ones (and floor((n-1)/5) for Ben-Or's Byzantine variant), and
+// n-1 for the Section 5 initially-dead protocol.
+func (p Protocol) MaxFaults(n int) int {
+	switch p {
+	case ProtocolBenOrByzantine:
+		return (n - 1) / 5
+	case ProtocolBivalence:
+		return n - 1
+	case ProtocolMajority:
+		// The Section 4.1 variant needs n-k > (n+k)/2 to reach its
+		// decision threshold: floor((n-1)/3), as the paper states.
+		return quorum.MaxFaults(n, quorum.Malicious)
+	default:
+		return quorum.MaxFaults(n, p.Model())
+	}
+}
+
+// MachineConfig configures a single protocol machine.
+type MachineConfig struct {
+	// N is the system size; K the tolerated fault count; Self this
+	// process's id; Input its initial value.
+	N, K  int
+	Self  ID
+	Input Value
+}
+
+// NewMachine builds a raw protocol state machine for one process, for use
+// with a custom execution engine. Machines returned here are honest; see
+// Simulate's Adversary option for Byzantine behaviours.
+func NewMachine(p Protocol, cfg MachineConfig) (Machine, error) {
+	cc := core.Config{N: cfg.N, K: cfg.K, Self: cfg.Self, Input: cfg.Input}
+	switch p {
+	case ProtocolFailStop:
+		return failstop.New(cc, nil)
+	case ProtocolMalicious:
+		return malicious.New(cc, nil)
+	case ProtocolMajority:
+		return majority.New(cc, nil)
+	case ProtocolBenOrCrash, ProtocolBenOrByzantine:
+		return nil, fmt.Errorf("resilient: %v needs a random source; use NewBenOrMachine", p)
+	case ProtocolBivalence:
+		return bivalence.New(cc, nil)
+	default:
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+	}
+}
+
+// NewBenOrMachine builds a Ben-Or machine with the given coin seed.
+func NewBenOrMachine(p Protocol, cfg MachineConfig, coinSeed uint64) (Machine, error) {
+	cc := core.Config{N: cfg.N, K: cfg.K, Self: cfg.Self, Input: cfg.Input}
+	mode := benor.Crash
+	switch p {
+	case ProtocolBenOrCrash:
+	case ProtocolBenOrByzantine:
+		mode = benor.Byzantine
+	default:
+		return nil, fmt.Errorf("resilient: %v is not a Ben-Or protocol", p)
+	}
+	return benor.New(cc, mode, newRand(coinSeed), nil)
+}
+
+// MaxFaultsFor returns the tight resilience bound of the paper for a fault
+// model: floor((n-1)/2) correct processes suffice and are necessary for
+// fail-stop, floor((n-1)/3) for malicious.
+func MaxFaultsFor(n int, m FaultModel) int {
+	return quorum.MaxFaults(n, m)
+}
+
+// CheckConfig validates an (n, k) pair against a fault model's bound.
+func CheckConfig(n, k int, m FaultModel) error {
+	return quorum.Check(n, k, m)
+}

@@ -1,0 +1,250 @@
+package resilient
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"resilient/internal/benor"
+	"resilient/internal/bivalence"
+	"resilient/internal/byzantine"
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/faults"
+	"resilient/internal/majority"
+	"resilient/internal/malicious"
+	"resilient/internal/msg"
+	"resilient/internal/runtime"
+	"resilient/internal/sched"
+	"resilient/internal/trace"
+)
+
+// Result is the outcome of one simulated execution; see the runtime package
+// for field documentation.
+type Result = runtime.Result
+
+// StallReason explains an incomplete run.
+type StallReason = runtime.StallReason
+
+// Stall reasons.
+const (
+	NotStalled   = runtime.NotStalled
+	QueueDrained = runtime.QueueDrained
+	EventBudget  = runtime.EventBudget
+	TimeHorizon  = runtime.TimeHorizon
+)
+
+// Crash schedules a fail-stop death; see the faults package.
+type Crash = faults.Crash
+
+// Scheduler assigns message delivery delays; see the sched package for the
+// built-in policies.
+type Scheduler = sched.Scheduler
+
+// Built-in schedulers.
+type (
+	// UniformDelay delivers after a uniform delay in [Min, Max].
+	UniformDelay = sched.Uniform
+	// ExponentialDelay delivers after an exponential delay.
+	ExponentialDelay = sched.Exponential
+	// ConstantDelay yields an effectively synchronous execution.
+	ConstantDelay = sched.Constant
+)
+
+// TraceSink receives execution events; see the trace package.
+type TraceSink = trace.Sink
+
+// TraceBuffer is an in-memory trace sink.
+type TraceBuffer = trace.Buffer
+
+// NewTraceBuffer returns a trace buffer retaining at most limit events
+// (0 = unlimited).
+func NewTraceBuffer(limit int) *TraceBuffer { return trace.NewBuffer(limit) }
+
+// Strategy names a Byzantine behaviour for simulated adversaries. All
+// strategies wrap an honest machine of the simulated protocol and corrupt
+// its outbound value claims; see the byzantine package.
+type Strategy int
+
+const (
+	// StrategySilent never sends anything (equivalent to being dead).
+	StrategySilent Strategy = iota + 1
+	// StrategyBalancer always claims the current minority value among
+	// correct processes -- the Section 4 worst case.
+	StrategyBalancer
+	// StrategyFlipper claims an independent random value each time.
+	StrategyFlipper
+	// StrategyLiar0 always claims 0.
+	StrategyLiar0
+	// StrategyLiar1 always claims 1.
+	StrategyLiar1
+	// StrategyEquivocator claims 0 toward the first half of the processes
+	// and 1 toward the rest.
+	StrategyEquivocator
+	// StrategyDoubleEcho sends conflicting duplicate echoes (Figure 2
+	// runs only).
+	StrategyDoubleEcho
+	// StrategyMute behaves correctly for two phases, then stops sending.
+	StrategyMute
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySilent:
+		return "silent"
+	case StrategyBalancer:
+		return "balancer"
+	case StrategyFlipper:
+		return "flipper"
+	case StrategyLiar0:
+		return "liar0"
+	case StrategyLiar1:
+		return "liar1"
+	case StrategyEquivocator:
+		return "equivocator"
+	case StrategyDoubleEcho:
+		return "double-echo"
+	case StrategyMute:
+		return "mute"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SimOptions configures Simulate beyond the required arguments. The zero
+// value is a sensible default: uniform random delays, seed 0, no faults.
+type SimOptions struct {
+	// Seed selects the execution; same options, same execution.
+	Seed uint64
+	// Scheduler overrides the delivery-delay policy.
+	Scheduler Scheduler
+	// Crashes schedules fail-stop deaths, keyed by process.
+	Crashes map[ID]Crash
+	// Adversaries assigns Byzantine strategies to processes; those
+	// processes stop counting toward agreement and termination.
+	Adversaries map[ID]Strategy
+	// Trace receives execution events.
+	Trace TraceSink
+	// MaxEvents bounds the run length (0 = default).
+	MaxEvents int
+	// MaxSimTime bounds simulated time (0 = unlimited).
+	MaxSimTime float64
+	// RunToCompletion processes all traffic even after every correct
+	// process has decided (for message-count measurements).
+	RunToCompletion bool
+	// Unsafe skips the resilience-bound validation of (n, k), for
+	// deliberately misconfigured lower-bound experiments.
+	Unsafe bool
+}
+
+// Simulate runs one execution of the protocol with n processes, fault
+// parameter k, and the given initial values, under the discrete-event
+// engine. It validates (n, k) against the protocol's resilience bound
+// unless opts.Unsafe is set.
+func Simulate(p Protocol, n, k int, inputs []Value, opts SimOptions) (*Result, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+	}
+	if !opts.Unsafe {
+		if k > p.MaxFaults(n) {
+			return nil, fmt.Errorf("resilient: k=%d exceeds %v bound %d at n=%d",
+				k, p, p.MaxFaults(n), n)
+		}
+	}
+	spawner, err := spawnerFor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	byz := make(map[msg.ID]bool, len(opts.Adversaries))
+	for id := range opts.Adversaries {
+		byz[id] = true
+	}
+	return runtime.Run(runtime.Config{
+		N: n, K: k,
+		Inputs:          inputs,
+		Spawn:           spawner,
+		Byzantine:       byz,
+		Crashes:         faults.Plan(opts.Crashes),
+		Scheduler:       opts.Scheduler,
+		Seed:            opts.Seed,
+		Sink:            opts.Trace,
+		MaxEvents:       opts.MaxEvents,
+		MaxSimTime:      opts.MaxSimTime,
+		RunToCompletion: opts.RunToCompletion,
+	})
+}
+
+// spawnerFor builds the runtime spawner: honest machines for correct
+// processes, strategy-wrapped machines for adversaries.
+func spawnerFor(p Protocol, opts SimOptions) (runtime.Spawner, error) {
+	honest := func(ctx runtime.SpawnContext) (core.Machine, error) {
+		switch p {
+		case ProtocolFailStop:
+			if opts.Unsafe {
+				return failstop.NewUnsafe(ctx.Config, ctx.Sink), nil
+			}
+			return failstop.New(ctx.Config, ctx.Sink)
+		case ProtocolMalicious:
+			if opts.Unsafe {
+				return malicious.NewUnsafe(ctx.Config, ctx.Sink), nil
+			}
+			return malicious.New(ctx.Config, ctx.Sink)
+		case ProtocolMajority:
+			if opts.Unsafe {
+				return majority.NewUnsafe(ctx.Config, ctx.Sink), nil
+			}
+			return majority.New(ctx.Config, ctx.Sink)
+		case ProtocolBenOrCrash:
+			return benor.New(ctx.Config, benor.Crash, ctx.RNG, ctx.Sink)
+		case ProtocolBenOrByzantine:
+			return benor.New(ctx.Config, benor.Byzantine, ctx.RNG, ctx.Sink)
+		case ProtocolBivalence:
+			return bivalence.New(ctx.Config, ctx.Sink)
+		default:
+			return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+		}
+	}
+	if len(opts.Adversaries) == 0 {
+		return honest, nil
+	}
+	return func(ctx runtime.SpawnContext) (core.Machine, error) {
+		strat, isAdv := opts.Adversaries[ctx.Config.Self]
+		if !ctx.Byzantine || !isAdv {
+			return honest(ctx)
+		}
+		if strat == StrategySilent {
+			return byzantine.NewSilent(ctx.Config.Self), nil
+		}
+		inner, err := honest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return wrapStrategy(strat, inner, ctx)
+	}, nil
+}
+
+func wrapStrategy(s Strategy, inner core.Machine, ctx runtime.SpawnContext) (core.Machine, error) {
+	switch s {
+	case StrategyBalancer:
+		return byzantine.NewBalancer(inner, ctx.World), nil
+	case StrategyFlipper:
+		return byzantine.NewFlipper(inner, ctx.RNG), nil
+	case StrategyLiar0:
+		return byzantine.NewFixedLiar(inner, msg.V0), nil
+	case StrategyLiar1:
+		return byzantine.NewFixedLiar(inner, msg.V1), nil
+	case StrategyEquivocator:
+		return byzantine.NewEquivocator(inner, ctx.Config.N), nil
+	case StrategyDoubleEcho:
+		return byzantine.NewDoubleEchoer(inner), nil
+	case StrategyMute:
+		return byzantine.NewMute(inner, 2), nil
+	default:
+		return nil, fmt.Errorf("resilient: unknown strategy %d", int(s))
+	}
+}
+
+// newRand builds a seeded random source.
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,93 @@
+package resilient
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSoak sweeps hundreds of randomized configurations across every
+// protocol, verifying each traced execution with the invariant checker.
+// Skipped under -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	type job struct {
+		p     Protocol
+		n, k  int
+		byz   bool // attach adversaries (malicious protocol only)
+		crash bool // attach crash plans (fail-stop protocols)
+	}
+	jobs := []job{
+		{ProtocolFailStop, 5, 2, false, true},
+		{ProtocolFailStop, 9, 4, false, true},
+		{ProtocolFailStop, 13, 6, false, true},
+		{ProtocolMalicious, 7, 2, true, false},
+		{ProtocolMalicious, 10, 3, true, false},
+		{ProtocolMajority, 10, 3, false, false},
+		{ProtocolBenOrCrash, 7, 3, false, true},
+		{ProtocolBenOrByzantine, 11, 2, true, false},
+		{ProtocolBivalence, 6, 3, false, true},
+	}
+	strategies := []Strategy{
+		StrategySilent, StrategyBalancer, StrategyFlipper,
+		StrategyLiar0, StrategyLiar1, StrategyEquivocator,
+		StrategyDoubleEcho, StrategyMute,
+	}
+	const seedsPerJob = 60
+	for _, j := range jobs {
+		j := j
+		t.Run(j.p.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < seedsPerJob; seed++ {
+				rng := rand.New(rand.NewPCG(seed, uint64(j.n)<<8|uint64(j.k)))
+				inputs := make([]Value, j.n)
+				for i := range inputs {
+					inputs[i] = Value(rng.IntN(2))
+				}
+				opts := SimOptions{Seed: seed}
+				buf := NewTraceBuffer(0)
+				opts.Trace = buf
+				if j.byz {
+					strat := strategies[rng.IntN(len(strategies))]
+					opts.Adversaries = map[ID]Strategy{}
+					for i := 0; i < j.k; i++ {
+						opts.Adversaries[ID(j.n-1-i)] = strat
+					}
+				}
+				if j.crash {
+					f := rng.IntN(j.k + 1)
+					opts.Crashes = map[ID]Crash{}
+					perm := rng.Perm(j.n)
+					for i := 0; i < f; i++ {
+						id := ID(perm[i])
+						c := Crash{
+							Process:    id,
+							Phase:      Phase(rng.IntN(3)),
+							AfterSends: rng.IntN(j.n + 1),
+						}
+						if j.p == ProtocolBivalence {
+							// The Section 5 protocol's fault model is
+							// initially-dead processes only: anyone who
+							// spoke in stage 0 is assumed alive forever.
+							c.Phase, c.AfterSends = 0, 0
+						}
+						opts.Crashes[id] = c
+					}
+				}
+				res, err := Simulate(j.p, j.n, j.k, inputs, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.AllDecided || !res.Agreement || res.Stalled != NotStalled {
+					t.Fatalf("seed %d: decided=%v agreement=%v stall=%v (crashes=%v adv=%v)",
+						seed, res.AllDecided, res.Agreement, res.Stalled,
+						opts.Crashes, opts.Adversaries)
+				}
+				if vs := Verify(j.p, j.n, j.k, inputs, opts.Adversaries, buf, res); len(vs) > 0 {
+					t.Fatalf("seed %d: invariant violations: %v", seed, vs)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package resilient
+
+import (
+	"resilient/internal/check"
+	"resilient/internal/msg"
+)
+
+// Violation is one broken protocol invariant found by Verify.
+type Violation = check.Violation
+
+// Verify checks a traced execution against the invariants the paper proves:
+// agreement, validity, write-once decisions, phase monotonicity, decision
+// support (witness/accept thresholds), and silence after crashes. Pass the
+// TraceBuffer given to Simulate via SimOptions.Trace, the returned Result,
+// and the same configuration. It returns all violations found (nil when the
+// execution is clean).
+//
+//	buf := resilient.NewTraceBuffer(0)
+//	res, _ := resilient.Simulate(p, n, k, inputs, resilient.SimOptions{Trace: buf})
+//	if vs := resilient.Verify(p, n, k, inputs, nil, buf, res); len(vs) > 0 { ... }
+func Verify(p Protocol, n, k int, inputs []Value, adversaries map[ID]Strategy,
+	buf *TraceBuffer, res *Result) []Violation {
+	byz := make(map[msg.ID]bool, len(adversaries))
+	for id := range adversaries {
+		byz[id] = true
+	}
+	protoName := ""
+	switch p {
+	case ProtocolFailStop:
+		protoName = "failstop"
+	case ProtocolMalicious:
+		protoName = "malicious"
+	}
+	return check.Run(check.Config{
+		N: n, K: k, Inputs: inputs, Byzantine: byz, Protocol: protoName,
+		// The Section 5 protocol decides an agreed bivalent function of
+		// the inputs (their parity), not a majority-respecting value.
+		SkipValidity: p == ProtocolBivalence,
+	}, buf.Events(), res)
+}
