@@ -17,6 +17,28 @@ type ClusterReport = livenet.Report
 // ClusterDecision is one process's decision in a live run.
 type ClusterDecision = livenet.Decision
 
+// ClusterOption configures a live cluster run.
+type ClusterOption func(*clusterOptions)
+
+type clusterOptions struct {
+	metrics *MetricsRegistry
+}
+
+// WithClusterMetrics attaches a metrics registry to a live run: the
+// goroutine engine records under "livenet." and (for TCP runs) the
+// endpoints under "net.".
+func WithClusterMetrics(reg *MetricsRegistry) ClusterOption {
+	return func(o *clusterOptions) { o.metrics = reg }
+}
+
+func applyClusterOptions(opts []ClusterOption) clusterOptions {
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // buildMachines constructs one honest machine per process.
 func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64) ([]core.Machine, error) {
 	if len(inputs) != n {
@@ -45,7 +67,8 @@ func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64) ([]core.Ma
 
 // RunCluster executes the protocol live: one goroutine per process over an
 // in-memory message system, until every process decides or ctx expires.
-func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*ClusterReport, error) {
+func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
+	o := applyClusterOptions(opts)
 	machines, err := buildMachines(p, n, k, inputs, 1)
 	if err != nil {
 		return nil, err
@@ -54,13 +77,15 @@ func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*Clu
 	if err != nil {
 		return nil, err
 	}
+	cluster.Metrics = o.metrics
 	return cluster.Run(ctx)
 }
 
 // RunTCPCluster executes the protocol live over loopback TCP: every process
 // gets its own listening socket and a full mesh of connections. It is the
 // deployment-shaped demonstration; for experiments use Simulate.
-func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*ClusterReport, error) {
+func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
+	o := applyClusterOptions(opts)
 	machines, err := buildMachines(p, n, k, inputs, 1)
 	if err != nil {
 		return nil, err
@@ -79,6 +104,7 @@ func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*
 			}
 			return nil, err
 		}
+		ep.SetMetrics(o.metrics)
 		endpoints[i] = ep
 	}
 	// Stage 2: exchange the discovered addresses.
@@ -100,5 +126,6 @@ func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value) (*
 		}
 		return nil, err
 	}
+	cluster.Metrics = o.metrics
 	return cluster.Run(ctx)
 }

@@ -36,17 +36,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
-		protoName = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence")
-		n         = fs.Int("n", 7, "number of processes")
-		k         = fs.Int("k", -1, "fault parameter (default: the protocol's maximum for n)")
-		inputsStr = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
-		seed      = fs.Uint64("seed", 1, "base random seed")
-		trials    = fs.Int("trials", 1, "number of seeded runs")
-		crashSpec = fs.String("crash", "", "crash plan: comma-separated id:phase:afterSends entries")
-		advSpec   = fs.String("adversary", "", "byzantine strategy on the k highest-numbered processes: silent | balancer | flipper | liar0 | liar1 | equivocator | double-echo | mute")
-		showTrace = fs.Bool("trace", false, "print the execution trace (single-trial runs only)")
-		unsafe    = fs.Bool("unsafe", false, "skip the resilience-bound validation of (n, k)")
-		asJSON    = fs.Bool("json", false, "emit the result as JSON (single-trial runs only)")
+		protoName   = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence")
+		n           = fs.Int("n", 7, "number of processes")
+		k           = fs.Int("k", -1, "fault parameter (default: the protocol's maximum for n)")
+		inputsStr   = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
+		seed        = fs.Uint64("seed", 1, "base random seed")
+		trials      = fs.Int("trials", 1, "number of seeded runs")
+		crashSpec   = fs.String("crash", "", "crash plan: comma-separated id:phase:afterSends entries")
+		advSpec     = fs.String("adversary", "", "byzantine strategy on the k highest-numbered processes: silent | balancer | flipper | liar0 | liar1 | equivocator | double-echo | mute")
+		showTrace   = fs.Bool("trace", false, "print the execution trace (single-trial runs only)")
+		unsafe      = fs.Bool("unsafe", false, "skip the resilience-bound validation of (n, k)")
+		asJSON      = fs.Bool("json", false, "emit the result as JSON (single-trial runs only)")
+		metricsPath = fs.String("metrics-json", "", "write a key-sorted run-accounting snapshot to this file (aggregated over all trials)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,12 +73,29 @@ func run(args []string) error {
 		return err
 	}
 
+	var reg *resilient.MetricsRegistry
+	if *metricsPath != "" {
+		reg = resilient.NewMetricsRegistry()
+	}
+	writeMetrics := func() error {
+		if reg == nil {
+			return nil
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return resilient.WriteMetricsJSON(f, reg)
+	}
+
 	if *trials <= 1 {
 		opts := resilient.SimOptions{
 			Seed:        *seed,
 			Crashes:     crashes,
 			Adversaries: adversaries,
 			Unsafe:      *unsafe,
+			Metrics:     reg,
 		}
 		var buf *trace.Buffer
 		if *showTrace {
@@ -92,6 +110,9 @@ func run(args []string) error {
 			for _, e := range buf.Events() {
 				fmt.Println(e)
 			}
+		}
+		if err := writeMetrics(); err != nil {
+			return err
 		}
 		if *asJSON {
 			return printJSON(proto, *n, *k, res)
@@ -108,6 +129,7 @@ func run(args []string) error {
 			Crashes:     crashes,
 			Adversaries: adversaries,
 			Unsafe:      *unsafe,
+			Metrics:     reg,
 		})
 		if err != nil {
 			return err
@@ -132,7 +154,7 @@ func run(args []string) error {
 	fmt.Printf("agreement  %d/%d\n", agree, *trials)
 	fmt.Printf("phases     %s\n", phases.Summarize())
 	fmt.Printf("messages   %s\n", msgs.Summarize())
-	return nil
+	return writeMetrics()
 }
 
 func parseProtocol(name string) (resilient.Protocol, error) {

@@ -8,9 +8,16 @@
 //	experiments -quick          # reduced scale (seconds, not minutes)
 //	experiments -markdown       # emit EXPERIMENTS.md-ready markdown
 //	experiments -trials 1000    # more trials per row
+//	experiments -metrics-json BENCH_ci.json   # archive a run-accounting snapshot
+//
+// With -metrics-json, every engine run and Monte-Carlo chain feeds one
+// shared metrics registry, per-experiment wall-clock is recorded as a
+// gauge, and the snapshot is written in the BENCH_*.json shape (schema
+// "resilient/bench/v1", key-sorted) so CI can archive one per commit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"resilient"
 	"resilient/internal/experiments"
+	"resilient/internal/metrics"
 )
 
 func main() {
@@ -31,12 +40,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only     = fs.String("only", "", "comma-separated experiment ids (default: all)")
-		quick    = fs.Bool("quick", false, "reduced system sizes and trial counts")
-		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
-		trials   = fs.Int("trials", 0, "trials per table row (0 = default)")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		outPath  = fs.String("out", "", "write output to this file instead of stdout")
+		only        = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		quick       = fs.Bool("quick", false, "reduced system sizes and trial counts")
+		markdown    = fs.Bool("markdown", false, "emit markdown instead of aligned text")
+		trials      = fs.Int("trials", 0, "trials per table row (0 = default)")
+		seed        = fs.Uint64("seed", 1, "base random seed")
+		outPath     = fs.String("out", "", "write output to this file instead of stdout")
+		metricsPath = fs.String("metrics-json", "", "write a key-sorted run-accounting snapshot (BENCH_*.json shape) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +60,12 @@ func run(args []string) error {
 		params.Trials = *trials
 	}
 	params.Seed = *seed
+
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.NewRegistry()
+		params.Metrics = reg
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -80,8 +96,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		elapsed := time.Since(start).Seconds()
+		reg.Gauge("experiment." + e.ID + ".seconds").Set(elapsed)
 		if !*markdown {
-			fmt.Fprintf(out, "=== %s: %s (%.1fs) ===\n\n", e.ID, e.Name, time.Since(start).Seconds())
+			fmt.Fprintf(out, "=== %s: %s (%.1fs) ===\n\n", e.ID, e.Name, elapsed)
 		}
 		for _, t := range tables {
 			if *markdown {
@@ -91,5 +109,63 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *metricsPath != "" {
+		if err := writeMetricsSnapshot(*metricsPath, reg, params, *quick); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+	}
 	return nil
+}
+
+// probeRuns guarantees the snapshot carries engine counters for one
+// fail-stop and one malicious run even when -only selects experiments that
+// never touch the message-level engine. The probes use the same scoped
+// prefixes as E3/E4, so on a full run they simply merge into the totals.
+func probeRuns(reg *metrics.Registry, seed uint64) error {
+	inputs := []resilient.Value{0, 1, 0, 1, 0, 1, 0}
+	if _, err := resilient.Simulate(resilient.ProtocolFailStop, 7, 3, inputs, resilient.SimOptions{
+		Seed:    seed,
+		Metrics: reg.Scoped("failstop."),
+	}); err != nil {
+		return fmt.Errorf("fail-stop probe: %w", err)
+	}
+	adv := map[resilient.ID]resilient.Strategy{6: resilient.StrategyBalancer, 5: resilient.StrategyLiar1}
+	if _, err := resilient.Simulate(resilient.ProtocolMalicious, 7, 2, inputs, resilient.SimOptions{
+		Seed:        seed,
+		Adversaries: adv,
+		Metrics:     reg.Scoped("malicious."),
+	}); err != nil {
+		return fmt.Errorf("malicious probe: %w", err)
+	}
+	return nil
+}
+
+// benchSnapshot is the BENCH_*.json trajectory shape: fixed header fields
+// identifying the configuration, then the full key-sorted metrics snapshot.
+type benchSnapshot struct {
+	Schema  string            `json:"schema"`
+	Command string            `json:"command"`
+	Quick   bool              `json:"quick"`
+	Trials  int               `json:"trials"`
+	Seed    uint64            `json:"seed"`
+	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+func writeMetricsSnapshot(path string, reg *metrics.Registry, params experiments.Params, quick bool) error {
+	if err := probeRuns(reg, params.Seed); err != nil {
+		return err
+	}
+	snap := benchSnapshot{
+		Schema:  "resilient/bench/v1",
+		Command: "experiments",
+		Quick:   quick,
+		Trials:  params.Trials,
+		Seed:    params.Seed,
+		Metrics: reg.Snapshot(),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,34 @@
+package bivalence_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/bivalence"
+	"resilient/internal/core"
+	"resilient/internal/machinetest"
+	"resilient/internal/msg"
+)
+
+// FuzzMachine is the native fuzz entry point (CI runs it with -fuzztime):
+// the Section 5 machine under mutated configurations, hostile streams, and
+// the raw graph payloads the fuzz harness generates for KindGraph.
+func FuzzMachine(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(2), uint8(0))
+	f.Add(uint64(3), uint8(8), uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, kRaw, selfRaw uint8) {
+		n := 3 + int(nRaw)%7
+		k := int(kRaw) % n
+		self := msg.ID(int(selfRaw) % n)
+		m, err := bivalence.New(core.Config{
+			N: n, K: k, Self: self, Input: msg.Value(int(seed) % 2),
+		}, nil)
+		if err != nil {
+			t.Fatalf("config n=%d k=%d rejected: %v", n, k, err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xb1ff))
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 800}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d self=%d): %v", seed, n, k, self, err)
+		}
+	})
+}

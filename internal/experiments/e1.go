@@ -8,6 +8,7 @@ import (
 	"resilient/internal/majority"
 	"resilient/internal/markov"
 	"resilient/internal/mc"
+	"resilient/internal/metrics"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
 	"resilient/internal/runtime"
@@ -44,7 +45,7 @@ func E1(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E1a n=%d: %w", n, err)
 		}
-		mcChain := mc.FailStop{N: n, K: k}
+		mcChain := mc.FailStop{N: n, K: k, Metrics: p.Metrics}
 		var acc stats.Accumulator
 		for tr := 0; tr < p.trials(); tr++ {
 			rng := rand.New(rand.NewPCG(p.seedFor(row, tr), 7))
@@ -84,7 +85,7 @@ func E1(p Params) ([]*Table, error) {
 	}
 	for row, n := range sizes {
 		k := quorum.MaxFaults(n, quorum.Malicious) // 3k < n for reachability
-		mcChain := mc.FailStop{N: n, K: k}
+		mcChain := mc.FailStop{N: n, K: k, Metrics: p.Metrics}
 		var mcAcc stats.Accumulator
 		for tr := 0; tr < p.trials(); tr++ {
 			rng := rand.New(rand.NewPCG(p.seedFor(100+row, tr), 7))
@@ -103,7 +104,7 @@ func E1(p Params) ([]*Table, error) {
 			var engAcc stats.Accumulator
 			agree := 0
 			for tr := 0; tr < engTrials; tr++ {
-				res, err := runEngineMajority(n, k, p.seedFor(200+row, tr))
+				res, err := runEngineMajority(n, k, p.seedFor(200+row, tr), p.Metrics)
 				if err != nil {
 					return nil, fmt.Errorf("E1b engine n=%d trial %d: %w", n, tr, err)
 				}
@@ -123,7 +124,7 @@ func E1(p Params) ([]*Table, error) {
 	return []*Table{ta, tb}, nil
 }
 
-func runEngineMajority(n, k int, seed uint64) (*runtime.Result, error) {
+func runEngineMajority(n, k int, seed uint64, reg *metrics.Registry) (*runtime.Result, error) {
 	inputs := make([]msg.Value, n)
 	for i := range inputs {
 		inputs[i] = msg.Value(i % 2)
@@ -133,7 +134,8 @@ func runEngineMajority(n, k int, seed uint64) (*runtime.Result, error) {
 		Spawn: func(ctx runtime.SpawnContext) (core.Machine, error) {
 			return majority.New(ctx.Config, ctx.Sink)
 		},
-		Seed: seed,
+		Seed:    seed,
+		Metrics: reg.Scoped("majority."),
 	})
 }
 

@@ -44,11 +44,11 @@ func E2(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E2a l=%v: %w", l, err)
 		}
-		mcF, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Forced}, p, 300+row)
+		mcF, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 300+row)
 		if err != nil {
 			return nil, err
 		}
-		mcM, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Mixed}, p, 400+row)
+		mcM, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Mixed, Metrics: p.Metrics}, p, 400+row)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +78,7 @@ func E2(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E2b n=%d: %w", nn, err)
 		}
-		est, err := e2MC(mc.Malicious{N: nn, K: k, Model: mc.Forced}, p, 500+row)
+		est, err := e2MC(mc.Malicious{N: nn, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 500+row)
 		if err != nil {
 			return nil, err
 		}

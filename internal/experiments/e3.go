@@ -57,6 +57,7 @@ func E3(p Params) ([]*Table, error) {
 				},
 				Crashes: plan,
 				Seed:    seed,
+				Metrics: p.Metrics.Scoped("failstop."),
 			})
 			if err != nil {
 				return trial{}, fmt.Errorf("E3 row %d trial %d: %w", row, tr, err)

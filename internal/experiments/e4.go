@@ -94,6 +94,7 @@ func E4(p Params) ([]*Table, error) {
 					Byzantine: byz,
 					Seed:      seed,
 					MaxEvents: 50_000_000,
+					Metrics:   p.Metrics.Scoped("malicious."),
 				})
 				if err != nil {
 					return trial{}, fmt.Errorf("E4 %s n=%d trial %d: %w", strat, n, tr, err)

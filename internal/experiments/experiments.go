@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"resilient/internal/metrics"
 )
 
 // Params scales an experiment run.
@@ -24,6 +26,11 @@ type Params struct {
 	Seed uint64
 	// Quick shrinks system sizes for smoke tests and benchmarks.
 	Quick bool
+	// Metrics, when non-nil, aggregates run accounting across the whole
+	// campaign: engine runs record under "<protocol>.runtime.", the
+	// Monte-Carlo chains under "mc.". cmd/experiments snapshots it to the
+	// -metrics-json file.
+	Metrics *metrics.Registry
 }
 
 // DefaultParams returns the full-scale parameters used to produce

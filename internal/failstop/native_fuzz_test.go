@@ -1,0 +1,35 @@
+package failstop_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/failstop"
+	"resilient/internal/machinetest"
+	"resilient/internal/msg"
+)
+
+// FuzzMachine is the native fuzz entry point (CI runs it with -fuzztime):
+// the fuzzer mutates the configuration and stream seed, the shared
+// machinetest harness checks the model invariants.
+func FuzzMachine(f *testing.F) {
+	f.Add(uint64(1), uint8(7), uint8(3), uint8(0))
+	f.Add(uint64(42), uint8(5), uint8(2), uint8(4))
+	f.Add(uint64(7), uint8(9), uint8(0), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, kRaw, selfRaw uint8) {
+		n := 3 + int(nRaw)%9
+		k := int(kRaw) % ((n-1)/2 + 1)
+		self := msg.ID(int(selfRaw) % n)
+		m, err := failstop.New(core.Config{
+			N: n, K: k, Self: self, Input: msg.Value(int(seed) % 2),
+		}, nil)
+		if err != nil {
+			t.Fatalf("config n=%d k=%d rejected: %v", n, k, err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xfa2f))
+		if err := machinetest.Fuzz(m, rng, machinetest.Options{N: n, Steps: 800}); err != nil {
+			t.Fatalf("seed %d (n=%d k=%d self=%d): %v", seed, n, k, self, err)
+		}
+	})
+}

@@ -14,9 +14,36 @@ import (
 	"time"
 
 	"resilient/internal/core"
+	"resilient/internal/metrics"
 	"resilient/internal/msg"
 	"resilient/internal/transport"
 )
+
+// liveMetrics holds the engine's instrument handles; all fields are nil
+// (free no-ops) when metrics are off.
+type liveMetrics struct {
+	sent         *metrics.Counter
+	received     *metrics.Counter
+	decisions    *metrics.Counter
+	runs         *metrics.Counter
+	decisionSecs *metrics.Histogram
+	runSecs      *metrics.Histogram
+}
+
+func newLiveMetrics(reg *metrics.Registry) liveMetrics {
+	if reg == nil {
+		return liveMetrics{}
+	}
+	m := reg.Scoped("livenet.")
+	return liveMetrics{
+		sent:         m.Counter("messages_sent"),
+		received:     m.Counter("messages_received"),
+		decisions:    m.Counter("decisions"),
+		runs:         m.Counter("runs"),
+		decisionSecs: m.Histogram("decision_wall_seconds", metrics.TimeBuckets()),
+		runSecs:      m.Histogram("run_wall_seconds", metrics.TimeBuckets()),
+	}
+}
 
 // Decision reports one process's decision.
 type Decision struct {
@@ -31,6 +58,7 @@ type Driver struct {
 	machine core.Machine
 	conn    transport.Conn
 	n       int
+	met     liveMetrics
 	// OnDecide, if set, is invoked exactly once when the machine decides.
 	OnDecide func(Decision)
 }
@@ -59,6 +87,7 @@ func (d *Driver) Run(ctx context.Context) error {
 			}
 			return fmt.Errorf("p%d recv: %w", d.machine.ID(), err)
 		}
+		d.met.received.Inc()
 		if err := d.sendAll(d.machine.OnMessage(in)); err != nil {
 			return err
 		}
@@ -87,6 +116,7 @@ func (d *Driver) sendAll(outs []core.Outbound) error {
 func (d *Driver) send(to msg.ID, m msg.Message) error {
 	err := d.conn.Send(to, m)
 	if err == nil || errors.Is(err, transport.ErrClosed) {
+		d.met.sent.Inc()
 		return nil // a closed destination is indistinguishable from a slow one
 	}
 	return fmt.Errorf("p%d send to p%d: %w", d.machine.ID(), to, err)
@@ -126,6 +156,9 @@ type Cluster struct {
 	machines []core.Machine
 	conns    []transport.Conn
 	cleanup  func()
+	// Metrics, when non-nil, receives live-run accounting under the
+	// "livenet." prefix. Set it before calling Run.
+	Metrics *metrics.Registry
 }
 
 // NewMemCluster wires the given machines over a fresh in-memory message
@@ -191,10 +224,12 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 		defer c.cleanup()
 	}
 
+	met := newLiveMetrics(c.Metrics)
 	var wg sync.WaitGroup
 	errCh := make(chan error, n)
 	for i := range c.machines {
 		d := NewDriver(c.machines[i], c.conns[i], n)
+		d.met = met
 		d.OnDecide = func(dec Decision) { decCh <- dec }
 		wg.Add(1)
 		go func() {
@@ -212,6 +247,8 @@ collect:
 		select {
 		case dec := <-decCh:
 			report.Decisions = append(report.Decisions, dec)
+			met.decisions.Inc()
+			met.decisionSecs.Observe(dec.At.Sub(start).Seconds())
 		case err := <-errCh:
 			runErr = err
 			break collect
@@ -234,11 +271,15 @@ collect:
 		select {
 		case dec := <-decCh:
 			report.Decisions = append(report.Decisions, dec)
+			met.decisions.Inc()
+			met.decisionSecs.Observe(dec.At.Sub(start).Seconds())
 			continue
 		default:
 		}
 		break
 	}
+	met.runs.Inc()
+	met.runSecs.Observe(report.Elapsed.Seconds())
 
 	report.Agreement = true
 	for i, dec := range report.Decisions {

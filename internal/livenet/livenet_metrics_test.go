@@ -1,0 +1,67 @@
+package livenet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilient/internal/metrics"
+)
+
+// TestClusterMetricsAccounting runs a memory-transport cluster with a
+// registry attached and checks the livenet.* series against the report.
+func TestClusterMetricsAccounting(t *testing.T) {
+	cluster, err := NewMemCluster(failstopMachines(t, 5, 2, mixed(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cluster.Metrics = reg
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := cluster.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != 5 || !rep.Agreement {
+		t.Fatalf("run did not reach full agreement: %+v", rep)
+	}
+
+	c := reg.Snapshot().Counters
+	if c["livenet.decisions"] != int64(len(rep.Decisions)) {
+		t.Errorf("decisions = %d, want %d", c["livenet.decisions"], len(rep.Decisions))
+	}
+	if c["livenet.runs"] != 1 {
+		t.Errorf("runs = %d, want 1", c["livenet.runs"])
+	}
+	if c["livenet.messages_sent"] <= 0 || c["livenet.messages_received"] <= 0 {
+		t.Errorf("traffic not accounted: sent=%d received=%d",
+			c["livenet.messages_sent"], c["livenet.messages_received"])
+	}
+
+	h := reg.Snapshot().Histograms
+	if got := h["livenet.decision_wall_seconds"].Count; got != uint64(len(rep.Decisions)) {
+		t.Errorf("decision_wall_seconds count = %d, want %d", got, len(rep.Decisions))
+	}
+	if h["livenet.run_wall_seconds"].Count != 1 {
+		t.Errorf("run_wall_seconds count = %d, want 1", h["livenet.run_wall_seconds"].Count)
+	}
+}
+
+// TestClusterNilMetricsStillRuns checks the zero-config path: no registry,
+// same protocol outcome.
+func TestClusterNilMetricsStillRuns(t *testing.T) {
+	cluster, err := NewMemCluster(failstopMachines(t, 5, 2, mixed(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := cluster.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Agreement {
+		t.Fatalf("agreement lost without metrics: %+v", rep)
+	}
+}

@@ -32,8 +32,35 @@ import (
 
 	"resilient/internal/dist"
 	"resilient/internal/markov"
+	"resilient/internal/metrics"
 	"resilient/internal/quorum"
 )
+
+// chainMetrics holds the instrument handles for one chain run; all handles
+// are nil (free no-ops) when no registry is attached.
+type chainMetrics struct {
+	steps            *metrics.Counter
+	draws            *metrics.Counter
+	absorptionRuns   *metrics.Counter
+	decisionRuns     *metrics.Counter
+	absorptionPhases *metrics.Histogram
+	decisionPhases   *metrics.Histogram
+}
+
+func newChainMetrics(reg *metrics.Registry, chain string) chainMetrics {
+	if reg == nil {
+		return chainMetrics{}
+	}
+	m := reg.Scoped("mc." + chain + ".")
+	return chainMetrics{
+		steps:            m.Counter("steps"),
+		draws:            m.Counter("hg_draws"),
+		absorptionRuns:   m.Counter("absorption_runs"),
+		decisionRuns:     m.Counter("decision_runs"),
+		absorptionPhases: m.Histogram("absorption_phases", metrics.PhaseBuckets()),
+		decisionPhases:   m.Histogram("decision_phases", metrics.PhaseBuckets()),
+	}
+}
 
 // AdversaryModel selects how the malicious chain's balancing messages enter
 // the views.
@@ -75,6 +102,10 @@ type StepOutcome struct {
 // decides on a strictly-more-than-(n+k)/2 supermajority.
 type FailStop struct {
 	N, K int
+	// Metrics, when non-nil, receives chain accounting under the
+	// "mc.failstop." prefix (steps, hypergeometric draws, absorption and
+	// decision phase histograms).
+	Metrics *metrics.Registry
 }
 
 // Validate checks parameters.
@@ -95,11 +126,17 @@ func (c FailStop) Absorbed(i int) bool {
 
 // Step simulates one phase from state ones and returns the outcome.
 func (c FailStop) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
+	return c.step(ones, rng, newChainMetrics(c.Metrics, "failstop"))
+}
+
+func (c FailStop) step(ones int, rng *rand.Rand, met chainMetrics) (StepOutcome, error) {
 	draw := quorum.WaitCount(c.N, c.K)
 	sampler, err := dist.NewHGSampler(dist.Hypergeometric{Pop: c.N, Success: ones, Draw: draw})
 	if err != nil {
 		return StepOutcome{}, err
 	}
+	met.steps.Inc()
+	met.draws.Add(int64(c.N))
 	var out StepOutcome
 	for p := 0; p < c.N; p++ {
 		view1 := sampler.Sample(rng)
@@ -130,12 +167,15 @@ func (c FailStop) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, 
 	if maxPhases <= 0 {
 		maxPhases = 10000
 	}
+	met := newChainMetrics(c.Metrics, "failstop")
 	state := start
 	for t := 0; t < maxPhases; t++ {
 		if c.Absorbed(state) {
+			met.absorptionRuns.Inc()
+			met.absorptionPhases.Observe(float64(t))
 			return t, nil
 		}
-		out, err := c.Step(state, rng)
+		out, err := c.step(state, rng, met)
 		if err != nil {
 			return 0, err
 		}
@@ -164,6 +204,7 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 	if maxPhases <= 0 {
 		maxPhases = 100000
 	}
+	met := newChainMetrics(c.Metrics, "failstop")
 	draw := quorum.WaitCount(c.N, c.K)
 	values := make([]bool, c.N) // true = 1
 	for p := 0; p < start; p++ {
@@ -182,11 +223,13 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 		if err != nil {
 			return 0, false, err
 		}
+		met.steps.Inc()
 		remaining := 0
 		for p := 0; p < c.N; p++ {
 			if decided[p] {
 				continue
 			}
+			met.draws.Inc()
 			view1 := sampler.Sample(rng)
 			view0 := draw - view1
 			switch {
@@ -207,6 +250,8 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 			return 0, false, fmt.Errorf("mc: agreement violated at phase %d (n=%d k=%d)", t, c.N, c.K)
 		}
 		if remaining == 0 {
+			met.decisionRuns.Inc()
+			met.decisionPhases.Observe(float64(t))
 			return t, sawDecision1, nil
 		}
 	}
@@ -218,6 +263,9 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 type Malicious struct {
 	N, K  int
 	Model AdversaryModel
+	// Metrics, when non-nil, receives chain accounting under the
+	// "mc.malicious." prefix.
+	Metrics *metrics.Registry
 }
 
 // Validate checks parameters.
@@ -242,12 +290,18 @@ func (c Malicious) Absorbed(i int) bool {
 
 // Step simulates one phase from state ones (correct processes holding 1).
 func (c Malicious) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
+	return c.step(ones, rng, newChainMetrics(c.Metrics, "malicious"))
+}
+
+func (c Malicious) step(ones int, rng *rand.Rand, met chainMetrics) (StepOutcome, error) {
 	correct := c.Correct()
 	draw := quorum.WaitCount(c.N, c.K)
 	views, err := c.viewSamplers(ones)
 	if err != nil {
 		return StepOutcome{}, err
 	}
+	met.steps.Inc()
+	met.draws.Add(int64(correct))
 	var out StepOutcome
 	for p := 0; p < correct; p++ {
 		view1 := views.sample(rng)
@@ -323,12 +377,15 @@ func (c Malicious) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int,
 	if maxPhases <= 0 {
 		maxPhases = 10000
 	}
+	met := newChainMetrics(c.Metrics, "malicious")
 	state := start
 	for t := 0; t < maxPhases; t++ {
 		if c.Absorbed(state) {
+			met.absorptionRuns.Inc()
+			met.absorptionPhases.Observe(float64(t))
 			return t, nil
 		}
-		out, err := c.Step(state, rng)
+		out, err := c.step(state, rng, met)
 		if err != nil {
 			return 0, err
 		}
@@ -357,6 +414,7 @@ func (c Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases
 	if maxPhases <= 0 {
 		maxPhases = 100000
 	}
+	met := newChainMetrics(c.Metrics, "malicious")
 	draw := quorum.WaitCount(c.N, c.K)
 	values := make([]bool, correct)
 	for p := 0; p < start; p++ {
@@ -375,11 +433,13 @@ func (c Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases
 		if err != nil {
 			return 0, false, err
 		}
+		met.steps.Inc()
 		remaining := 0
 		for p := 0; p < correct; p++ {
 			if decided[p] {
 				continue
 			}
+			met.draws.Inc()
 			view1 := views.sample(rng)
 			view0 := draw - view1
 			switch {
@@ -400,6 +460,8 @@ func (c Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases
 			return 0, false, fmt.Errorf("mc: agreement violated at phase %d (n=%d k=%d)", t, c.N, c.K)
 		}
 		if remaining == 0 {
+			met.decisionRuns.Inc()
+			met.decisionPhases.Observe(float64(t))
 			return t, sawDecision1, nil
 		}
 	}

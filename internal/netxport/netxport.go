@@ -19,12 +19,55 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"resilient/internal/metrics"
 	"resilient/internal/msg"
 	"resilient/internal/transport"
 )
 
 const maxFrame = 1 << 20
+
+// Dial retry policy: a freshly started cluster races listener startup
+// against first sends, so transient dial failures are expected and retried
+// with a short backoff before surfacing an error.
+const (
+	dialAttempts = 3
+	dialBackoff  = 5 * time.Millisecond
+)
+
+// netMetrics holds the endpoint's instrument handles; all fields are nil
+// (free no-ops) when metrics are off.
+type netMetrics struct {
+	bytesSent    *metrics.Counter
+	bytesRecv    *metrics.Counter
+	framesSent   *metrics.Counter
+	framesRecv   *metrics.Counter
+	dials        *metrics.Counter
+	dialRetries  *metrics.Counter
+	dialErrors   *metrics.Counter
+	decodeErrors *metrics.Counter
+	localFrames  *metrics.Counter
+}
+
+func newNetMetrics(reg *metrics.Registry) *netMetrics {
+	if reg == nil {
+		return &netMetrics{}
+	}
+	m := reg.Scoped("net.")
+	return &netMetrics{
+		bytesSent:    m.Counter("bytes_sent"),
+		bytesRecv:    m.Counter("bytes_received"),
+		framesSent:   m.Counter("frames_sent"),
+		framesRecv:   m.Counter("frames_received"),
+		dials:        m.Counter("dials"),
+		dialRetries:  m.Counter("dial_retries"),
+		dialErrors:   m.Counter("dial_errors"),
+		decodeErrors: m.Counter("decode_errors"),
+		localFrames:  m.Counter("local_frames"),
+	}
+}
 
 // Endpoint is one process's TCP endpoint. It implements transport.Conn.
 type Endpoint struct {
@@ -39,6 +82,10 @@ type Endpoint struct {
 	inbox chan inboundMsg
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// met is swapped atomically so SetMetrics races cleanly with the
+	// accept/read goroutines; the pointer is never nil.
+	met atomic.Pointer[netMetrics]
 
 	closeOnce sync.Once
 }
@@ -69,9 +116,17 @@ func Listen(id msg.ID, addrs []string) (*Endpoint, error) {
 		done:  make(chan struct{}),
 	}
 	e.addrs[id] = ln.Addr().String()
+	e.met.Store(newNetMetrics(nil))
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
+}
+
+// SetMetrics attaches a metrics registry; subsequent traffic is accounted
+// under the "net." prefix (bytes, frames, dials, retries). Safe to call at
+// any time, including concurrently with traffic; nil detaches.
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
+	e.met.Store(newNetMetrics(reg))
 }
 
 // Addr returns the endpoint's actual listen address.
@@ -97,10 +152,12 @@ func (e *Endpoint) Send(to msg.ID, m msg.Message) error {
 		return fmt.Errorf("netxport: destination %d outside address table", to)
 	}
 	m.From = e.id
+	met := e.met.Load()
 	if to == e.id {
 		// Local delivery without a socket round-trip.
 		select {
 		case e.inbox <- inboundMsg{m: m}:
+			met.localFrames.Inc()
 			return nil
 		case <-e.done:
 			return transport.ErrClosed
@@ -121,6 +178,8 @@ func (e *Endpoint) Send(to msg.ID, m msg.Message) error {
 	if _, err := conn.Write(frame); err != nil {
 		return fmt.Errorf("netxport: write to p%d: %w", to, err)
 	}
+	met.framesSent.Inc()
+	met.bytesSent.Add(int64(len(lenbuf) + len(frame)))
 	return nil
 }
 
@@ -130,8 +189,24 @@ func (e *Endpoint) peer(to msg.ID) (net.Conn, error) {
 	if c, ok := e.peers[to]; ok {
 		return c, nil
 	}
-	c, err := net.Dial("tcp", e.addrs[to])
+	met := e.met.Load()
+	var (
+		c   net.Conn
+		err error
+	)
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			met.dialRetries.Inc()
+			time.Sleep(dialBackoff << (attempt - 1))
+		}
+		met.dials.Inc()
+		c, err = net.Dial("tcp", e.addrs[to])
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
+		met.dialErrors.Inc()
 		return nil, fmt.Errorf("netxport: dial p%d at %s: %w", to, e.addrs[to], err)
 	}
 	var hello [4]byte
@@ -218,8 +293,12 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
+		met := e.met.Load()
+		met.framesRecv.Inc()
+		met.bytesRecv.Add(int64(len(lenbuf)) + int64(size))
 		m, err := msg.Decode(frame)
 		if err != nil {
+			met.decodeErrors.Inc()
 			continue // malformed frame from a (possibly malicious) peer
 		}
 		m.From = from // authenticated identity, not the claimed one

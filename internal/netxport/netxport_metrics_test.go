@@ -1,0 +1,88 @@
+package netxport
+
+import (
+	"testing"
+	"time"
+
+	"resilient/internal/metrics"
+	"resilient/internal/msg"
+)
+
+// TestTransportMetricsAccounting sends frames both across sockets and via
+// the local fast path and checks the net.* counters add up on both sides.
+func TestTransportMetricsAccounting(t *testing.T) {
+	eps := mesh(t, 2)
+	sender := metrics.NewRegistry()
+	receiver := metrics.NewRegistry()
+	eps[0].SetMetrics(sender)
+	eps[1].SetMetrics(receiver)
+
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := eps[0].Send(1, msg.Val(0, msg.Phase(i), msg.V1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		recvWithTimeout(t, eps[1])
+	}
+	// Local fast path: self-sends never hit the socket.
+	if err := eps[0].Send(0, msg.Val(0, 0, msg.V0)); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, eps[0])
+
+	s := sender.Snapshot().Counters
+	if s["net.frames_sent"] != frames {
+		t.Errorf("frames_sent = %d, want %d", s["net.frames_sent"], frames)
+	}
+	if s["net.local_frames"] != 1 {
+		t.Errorf("local_frames = %d, want 1", s["net.local_frames"])
+	}
+	if s["net.bytes_sent"] <= 0 {
+		t.Error("bytes_sent never counted")
+	}
+	if s["net.dials"] != 1 {
+		t.Errorf("dials = %d, want 1 (connection reused)", s["net.dials"])
+	}
+
+	// The read loop runs on its own goroutine; the frames are already in the
+	// inbox, but counter increments may trail the channel send briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := receiver.Snapshot().Counters
+		if r["net.frames_received"] == frames && r["net.bytes_received"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames_received = %d, want %d", r["net.frames_received"], frames)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDialRetriesCounted points an endpoint at a dead address and checks
+// the failed attempts are recorded as retries and errors.
+func TestDialRetriesCounted(t *testing.T) {
+	eps := mesh(t, 2)
+	reg := metrics.NewRegistry()
+	eps[0].SetMetrics(reg)
+	// A port nothing listens on: reserve one, then close it.
+	dead := eps[1].Addr()
+	eps[1].Close()
+	eps[0].SetPeerAddr(1, dead)
+
+	if err := eps[0].Send(1, msg.Val(0, 0, msg.V0)); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	c := reg.Snapshot().Counters
+	if c["net.dial_errors"] != 1 {
+		t.Errorf("dial_errors = %d, want 1", c["net.dial_errors"])
+	}
+	if c["net.dial_retries"] != dialAttempts-1 {
+		t.Errorf("dial_retries = %d, want %d", c["net.dial_retries"], dialAttempts-1)
+	}
+	if c["net.frames_sent"] != 0 {
+		t.Errorf("frames_sent = %d after a failed dial, want 0", c["net.frames_sent"])
+	}
+}

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"resilient/internal/core"
 	"resilient/internal/faults"
+	"resilient/internal/metrics"
 	"resilient/internal/msg"
 	"resilient/internal/sched"
 	"resilient/internal/trace"
@@ -86,6 +88,12 @@ type Config struct {
 	// 3.1); this switch exists to demonstrate WHY -- see the E12
 	// impersonation ablation, where a single forger splits the system.
 	AllowForgery bool
+	// Metrics, when non-nil, receives run-accounting counters and
+	// histograms under the "runtime." prefix; nil keeps the hot path
+	// allocation-free (like trace.Nop for tracing). A registry may be
+	// shared across runs -- counters accumulate -- and is safe for
+	// concurrent runs (e.g. a parallel sweep feeding one registry).
+	Metrics *metrics.Registry
 }
 
 func (c *Config) validate() error {
@@ -181,6 +189,12 @@ type Result struct {
 	MaxPhase msg.Phase
 	// Crashed lists processes that died during the run.
 	Crashed []msg.ID
+	// WallClock is the real time the run took inside Run.
+	WallClock time.Duration
+	// Metrics is a snapshot of Config.Metrics taken at the end of the run;
+	// nil when no registry was attached. With a shared registry it reflects
+	// everything accumulated so far, not just this run.
+	Metrics *metrics.Snapshot
 }
 
 // DecidedCount returns the number of recorded decisions.
@@ -213,12 +227,54 @@ func (h eventHeap) Peek() (event, bool) {
 	return h[0], true
 }
 
+// runMetrics holds the engine's instrument handles, resolved once per run.
+// Every handle is nil when no registry is attached, making each record call
+// a no-op (see the metrics package).
+type runMetrics struct {
+	runs          *metrics.Counter
+	sent          *metrics.Counter
+	delivered     *metrics.Counter
+	dropped       *metrics.Counter
+	events        *metrics.Counter
+	decisions     *metrics.Counter
+	crashes       *metrics.Counter
+	stalls        *metrics.Counter
+	decisionPhase *metrics.Histogram
+	maxPhase      *metrics.Histogram
+	messages      *metrics.Histogram
+	simTime       *metrics.Histogram
+	wallSeconds   *metrics.Histogram
+}
+
+func newRunMetrics(reg *metrics.Registry) runMetrics {
+	if reg == nil {
+		return runMetrics{}
+	}
+	m := reg.Scoped("runtime.")
+	return runMetrics{
+		runs:          m.Counter("runs"),
+		sent:          m.Counter("messages_sent"),
+		delivered:     m.Counter("messages_delivered"),
+		dropped:       m.Counter("messages_dropped"),
+		events:        m.Counter("events"),
+		decisions:     m.Counter("decisions"),
+		crashes:       m.Counter("crashes"),
+		stalls:        m.Counter("stalls"),
+		decisionPhase: m.Histogram("decision_phase", metrics.PhaseBuckets()),
+		maxPhase:      m.Histogram("max_phase", metrics.PhaseBuckets()),
+		messages:      m.Histogram("messages_per_run", metrics.ExpBuckets(10, 4, 12)),
+		simTime:       m.Histogram("sim_time", metrics.ExpBuckets(0.1, 4, 12)),
+		wallSeconds:   m.Histogram("wall_seconds", metrics.TimeBuckets()),
+	}
+}
+
 // runner holds one execution's state.
 type runner struct {
 	cfg      Config
 	rng      *rand.Rand
 	sink     trace.Sink
 	sch      sched.Scheduler
+	met      runMetrics
 	machines []core.Machine
 	trackers []*faults.Tracker
 	crashed  []bool
@@ -279,11 +335,13 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	started := time.Now()
 	r := &runner{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		sink:     cfg.Sink,
 		sch:      cfg.Scheduler,
+		met:      newRunMetrics(cfg.Metrics),
 		machines: make([]core.Machine, cfg.N),
 		trackers: make([]*faults.Tracker, cfg.N),
 		crashed:  make([]bool, cfg.N),
@@ -335,6 +393,7 @@ func Run(cfg Config) (*Result, error) {
 		r.checkDecision(msg.ID(i))
 	}
 	r.loop()
+	r.result.WallClock = time.Since(started)
 	r.finish()
 	return r.result, nil
 }
@@ -360,6 +419,7 @@ func (r *runner) markCrashed(id msg.ID) {
 	}
 	r.crashed[id] = true
 	r.result.Crashed = append(r.result.Crashed, id)
+	r.met.crashes.Inc()
 	r.sink.Record(trace.Event{
 		Time: r.now, Kind: trace.EventCrash, Process: id,
 		Phase: r.machines[id].Phase(),
@@ -403,6 +463,7 @@ func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
 	r.seq++
 	heap.Push(&r.queue, event{at: r.now + d, seq: r.seq, to: to, m: m})
 	r.result.MessagesSent++
+	r.met.sent.Inc()
 	r.sink.Record(trace.Event{
 		Time: r.now, Kind: trace.EventSend, Process: from,
 		Phase: m.Phase, Value: m.Value,
@@ -439,6 +500,7 @@ func (r *runner) loop() {
 		e := heap.Pop(&r.queue).(event)
 		r.now = e.at
 		r.result.Events++
+		r.met.events.Inc()
 		r.deliver(e)
 	}
 }
@@ -447,9 +509,11 @@ func (r *runner) deliver(e event) {
 	id := e.to
 	m := r.machines[id]
 	if r.isDead(id) || m.Halted() {
+		r.met.dropped.Inc()
 		return
 	}
 	r.result.MessagesDelivered++
+	r.met.delivered.Inc()
 	r.sink.Record(trace.Event{
 		Time: r.now, Kind: trace.EventDeliver, Process: id,
 		Phase: e.m.Phase, Value: e.m.Value,
@@ -478,6 +542,8 @@ func (r *runner) checkDecision(id msg.ID) {
 	r.result.Decisions[id] = v
 	r.result.DecisionPhase[id] = r.machines[id].Phase()
 	r.result.DecisionTime[id] = r.now
+	r.met.decisions.Inc()
+	r.met.decisionPhase.Observe(float64(r.machines[id].Phase()))
 	if _, crashes := r.cfg.Crashes[id]; !crashes && !r.crashed[id] {
 		r.mustDecide--
 	}
@@ -503,5 +569,16 @@ func (r *runner) finish() {
 	if first {
 		// Nobody decided: vacuous agreement, but flag it via AllDecided.
 		res.Agreement = true
+	}
+	r.met.runs.Inc()
+	if res.Stalled != NotStalled {
+		r.met.stalls.Inc()
+	}
+	r.met.maxPhase.Observe(float64(res.MaxPhase))
+	r.met.messages.Observe(float64(res.MessagesSent))
+	r.met.simTime.Observe(res.SimTime)
+	r.met.wallSeconds.Observe(res.WallClock.Seconds())
+	if r.cfg.Metrics != nil {
+		res.Metrics = r.cfg.Metrics.Snapshot()
 	}
 }

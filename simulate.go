@@ -135,6 +135,11 @@ type SimOptions struct {
 	// Unsafe skips the resilience-bound validation of (n, k), for
 	// deliberately misconfigured lower-bound experiments.
 	Unsafe bool
+	// Metrics, when non-nil, receives run accounting (messages, events,
+	// decisions, phase and latency histograms) under the "runtime." prefix;
+	// the run's final Result.Metrics carries a snapshot. Sharing one
+	// registry across runs aggregates them.
+	Metrics *MetricsRegistry
 }
 
 // Simulate runs one execution of the protocol with n processes, fault
@@ -171,6 +176,7 @@ func Simulate(p Protocol, n, k int, inputs []Value, opts SimOptions) (*Result, e
 		MaxEvents:       opts.MaxEvents,
 		MaxSimTime:      opts.MaxSimTime,
 		RunToCompletion: opts.RunToCompletion,
+		Metrics:         opts.Metrics,
 	})
 }
 
