@@ -21,6 +21,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	p := experiments.QuickParams()
 	p.Trials = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Seed = uint64(i) + 1
@@ -54,6 +55,7 @@ func benchSimulate(b *testing.B, p Protocol, n, k int, opts SimOptions) {
 	for i := range inputs {
 		inputs[i] = Value(i % 2)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts.Seed = uint64(i)
@@ -99,9 +101,59 @@ func BenchmarkBivalenceN7(b *testing.B) {
 	})
 }
 
+// BenchmarkSimulateZeroAlloc is the zero-allocation regression gate: a full
+// consensus execution with no trace sink and no metrics registry must stay
+// under maxAllocsPerMessage heap allocations per sent message (per-run setup
+// -- machines, trackers, result maps -- included). Before the typed event
+// queue, lazy tracing, in-place broadcast shuffle, and dense tallies this
+// ratio was ~3.6 (Figure 1) and ~3.9 (Figure 2); it is now ~0.1, almost all
+// of it per-run setup. The benchmark FAILS, not just reports, when the
+// ceiling is breached.
+const maxAllocsPerMessage = 0.25
+
+func BenchmarkSimulateZeroAlloc(b *testing.B) {
+	cases := []struct {
+		name     string
+		protocol Protocol
+		n, k     int
+	}{
+		{"failstop/n=21", ProtocolFailStop, 21, 10},
+		{"malicious/n=13", ProtocolMalicious, 13, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			inputs := make([]Value, c.n)
+			for i := range inputs {
+				inputs[i] = Value(i % 2)
+			}
+			run := func() *Result {
+				res, err := Simulate(c.protocol, c.n, c.k, inputs, SimOptions{Seed: 1})
+				if err != nil || !res.AllDecided {
+					b.Fatalf("run failed: %v (stalled=%v)", err, res.Stalled)
+				}
+				return res
+			}
+			messages := run().MessagesSent
+			allocs := testing.AllocsPerRun(5, func() { run() })
+			perMessage := allocs / float64(messages)
+			if perMessage > maxAllocsPerMessage {
+				b.Fatalf("%.4f allocs per message (%.0f allocs / %d messages), ceiling %.2f",
+					perMessage, allocs, messages, maxAllocsPerMessage)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(perMessage, "allocs/msg")
+		})
+	}
+}
+
 // Analysis micro-benchmarks.
 
 func BenchmarkAnalyzeFailStopExact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AnalyzeFailStop(150, 50); err != nil {
 			b.Fatal(err)
@@ -110,6 +162,7 @@ func BenchmarkAnalyzeFailStopExact(b *testing.B) {
 }
 
 func BenchmarkAnalyzeMaliciousExact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AnalyzeMalicious(150, 6, true); err != nil {
 			b.Fatal(err)
@@ -118,6 +171,7 @@ func BenchmarkAnalyzeMaliciousExact(b *testing.B) {
 }
 
 func BenchmarkMonteCarloAbsorption(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := EstimateFailStopAbsorption(300, 100, 100, uint64(i)); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,175 @@
+// Package dense provides allocation-free replacements for the small maps
+// the protocol machines used to keep on their hot paths: bitsets indexed by
+// process ID (IDs are always 0..n-1) and a phase-indexed message buffer.
+// All types are plain slices with freelists, so steady-state operation
+// performs no heap allocations; that invariant is what the engine's
+// zero-allocation benchmarks measure (see DESIGN.md, "Performance").
+package dense
+
+import (
+	"sort"
+
+	"resilient/internal/msg"
+)
+
+// Bitset is a fixed-capacity bitset. The zero value is empty and must be
+// sized with Reset or NewBitset before use.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns a bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset {
+	return Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+// Reset clears the bitset, growing it to hold n bits if needed.
+func (b *Bitset) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+		return
+	}
+	b.words = b.words[:w]
+	clear(b.words)
+}
+
+// Test reports whether bit i is set. Out-of-range bits read as clear.
+func (b *Bitset) Test(i int) bool {
+	w := i >> 6
+	if i < 0 || w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i and reports whether it was already set. Out-of-range bits
+// are ignored (reported as already set, so callers treat them as duplicates).
+func (b *Bitset) Set(i int) (already bool) {
+	w := i >> 6
+	if i < 0 || w >= len(b.words) {
+		return true
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	already = b.words[w]&mask != 0
+	b.words[w] |= mask
+	return already
+}
+
+// Clone returns an independent copy of the bitset.
+func (b *Bitset) Clone() Bitset {
+	return Bitset{words: append([]uint64(nil), b.words...)}
+}
+
+// phaseBucket holds the buffered messages of one phase.
+type phaseBucket struct {
+	phase msg.Phase
+	msgs  []msg.Message
+}
+
+// PhaseBuffer buffers messages addressed to future phases, replacing the
+// map[msg.Phase][]msg.Message the machines used to keep. Buckets are held
+// sorted by phase in a small vector (the live window of phases is tiny),
+// and consumed buckets recycle their storage through a freelist, so
+// steady-state buffering allocates nothing.
+type PhaseBuffer struct {
+	buckets []phaseBucket
+	free    [][]msg.Message
+}
+
+// Add buffers m under phase ph.
+func (p *PhaseBuffer) Add(ph msg.Phase, m msg.Message) {
+	i := p.find(ph)
+	if i < 0 {
+		i = p.insert(ph)
+	}
+	p.buckets[i].msgs = append(p.buckets[i].msgs, m)
+}
+
+// Len returns the number of messages buffered for phase ph.
+func (p *PhaseBuffer) Len(ph msg.Phase) int {
+	if i := p.find(ph); i >= 0 {
+		return len(p.buckets[i].msgs)
+	}
+	return 0
+}
+
+// TakeInto appends phase ph's buffered messages to dst, removes the bucket,
+// recycles its storage, and returns the extended dst.
+func (p *PhaseBuffer) TakeInto(ph msg.Phase, dst []msg.Message) []msg.Message {
+	i := p.find(ph)
+	if i < 0 {
+		return dst
+	}
+	dst = append(dst, p.buckets[i].msgs...)
+	p.removeAt(i)
+	return dst
+}
+
+// DropBelow discards every bucket with phase strictly below ph.
+func (p *PhaseBuffer) DropBelow(ph msg.Phase) {
+	for len(p.buckets) > 0 && p.buckets[0].phase < ph {
+		p.removeAt(0)
+	}
+}
+
+// Drop discards phase ph's bucket, if any.
+func (p *PhaseBuffer) Drop(ph msg.Phase) {
+	if i := p.find(ph); i >= 0 {
+		p.removeAt(i)
+	}
+}
+
+// ForEach calls fn for each non-empty phase in ascending order. The msgs
+// slice is owned by the buffer and must not be retained.
+func (p *PhaseBuffer) ForEach(fn func(ph msg.Phase, msgs []msg.Message)) {
+	for _, b := range p.buckets {
+		fn(b.phase, b.msgs)
+	}
+}
+
+// Buckets returns the number of live phase buckets.
+func (p *PhaseBuffer) Buckets() int { return len(p.buckets) }
+
+// Clone returns an independent deep copy of the buffer.
+func (p *PhaseBuffer) Clone() PhaseBuffer {
+	c := PhaseBuffer{buckets: make([]phaseBucket, len(p.buckets))}
+	for i, b := range p.buckets {
+		c.buckets[i] = phaseBucket{
+			phase: b.phase,
+			msgs:  append([]msg.Message(nil), b.msgs...),
+		}
+	}
+	return c
+}
+
+func (p *PhaseBuffer) find(ph msg.Phase) int {
+	for i := range p.buckets {
+		if p.buckets[i].phase == ph {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert adds an empty bucket for ph (which must not exist) keeping buckets
+// sorted by phase, and returns its index.
+func (p *PhaseBuffer) insert(ph msg.Phase) int {
+	var msgs []msg.Message
+	if n := len(p.free); n > 0 {
+		msgs = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	i := sort.Search(len(p.buckets), func(i int) bool { return p.buckets[i].phase > ph })
+	p.buckets = append(p.buckets, phaseBucket{})
+	copy(p.buckets[i+1:], p.buckets[i:])
+	p.buckets[i] = phaseBucket{phase: ph, msgs: msgs}
+	return i
+}
+
+func (p *PhaseBuffer) removeAt(i int) {
+	b := p.buckets[i]
+	p.free = append(p.free, b.msgs[:0])
+	copy(p.buckets[i:], p.buckets[i+1:])
+	p.buckets = p.buckets[:len(p.buckets)-1]
+}

@@ -1,0 +1,159 @@
+package dense
+
+import (
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if b.Test(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("Set(%d) reported already on first set", i)
+		}
+		if !b.Test(i) || !b.Set(i) {
+			t.Fatalf("bit %d did not stick", i)
+		}
+	}
+	if b.Test(2) {
+		t.Fatal("untouched bit set")
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(8)
+	for _, i := range []int{-1, 8, 64, 1 << 30} {
+		// Bits 8..63 share the single word, so only truly out-of-word
+		// indices are rejected; -1 and >=64 must be safe no-ops.
+		if i >= 0 && i < 64 {
+			continue
+		}
+		if !b.Set(i) {
+			t.Errorf("Set(%d) out of range should report already", i)
+		}
+		if b.Test(i) {
+			t.Errorf("Test(%d) out of range should be clear", i)
+		}
+	}
+}
+
+func TestBitsetResetReuses(t *testing.T) {
+	b := NewBitset(100)
+	b.Set(99)
+	b.Reset(100)
+	if b.Test(99) {
+		t.Fatal("Reset kept a bit")
+	}
+	b.Reset(64) // shrink within capacity
+	if b.Set(10) {
+		t.Fatal("bit survived shrink reset")
+	}
+	b.Reset(4096) // grow
+	if b.Test(10) {
+		t.Fatal("grow kept a bit")
+	}
+	if b.Set(4095) {
+		t.Fatal("grown bitset rejects in-range bit")
+	}
+}
+
+func TestBitsetClone(t *testing.T) {
+	b := NewBitset(64)
+	b.Set(7)
+	c := b.Clone()
+	c.Set(8)
+	if b.Test(8) {
+		t.Fatal("clone shares storage")
+	}
+	if !c.Test(7) {
+		t.Fatal("clone lost a bit")
+	}
+}
+
+func mkMsg(ph msg.Phase, from msg.ID) msg.Message {
+	return msg.State(from, ph, msg.V0, 1)
+}
+
+func TestPhaseBufferOrdering(t *testing.T) {
+	var p PhaseBuffer
+	p.Add(3, mkMsg(3, 0))
+	p.Add(1, mkMsg(1, 1))
+	p.Add(3, mkMsg(3, 2))
+	p.Add(2, mkMsg(2, 3))
+	if p.Buckets() != 3 {
+		t.Fatalf("buckets = %d, want 3", p.Buckets())
+	}
+	if p.Len(3) != 2 || p.Len(1) != 1 || p.Len(7) != 0 {
+		t.Fatalf("Len wrong: %d %d %d", p.Len(3), p.Len(1), p.Len(7))
+	}
+	var phases []msg.Phase
+	p.ForEach(func(ph msg.Phase, msgs []msg.Message) { phases = append(phases, ph) })
+	if len(phases) != 3 || phases[0] != 1 || phases[1] != 2 || phases[2] != 3 {
+		t.Fatalf("ForEach order = %v, want ascending", phases)
+	}
+	got := p.TakeInto(3, nil)
+	if len(got) != 2 || got[0].From != 0 || got[1].From != 2 {
+		t.Fatalf("TakeInto(3) = %v", got)
+	}
+	if p.Len(3) != 0 || p.Buckets() != 2 {
+		t.Fatal("TakeInto did not remove the bucket")
+	}
+}
+
+func TestPhaseBufferDrop(t *testing.T) {
+	var p PhaseBuffer
+	for ph := msg.Phase(0); ph < 5; ph++ {
+		p.Add(ph, mkMsg(ph, msg.ID(ph)))
+	}
+	p.Drop(2)
+	if p.Len(2) != 0 || p.Buckets() != 4 {
+		t.Fatal("Drop(2) failed")
+	}
+	p.DropBelow(4)
+	if p.Buckets() != 1 || p.Len(4) != 1 {
+		t.Fatalf("DropBelow left %d buckets", p.Buckets())
+	}
+}
+
+func TestPhaseBufferCloneIsDeep(t *testing.T) {
+	var p PhaseBuffer
+	p.Add(1, mkMsg(1, 0))
+	c := p.Clone()
+	c.Add(1, mkMsg(1, 1))
+	c.Add(2, mkMsg(2, 2))
+	if p.Len(1) != 1 || p.Buckets() != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+	if c.Len(1) != 2 || c.Buckets() != 2 {
+		t.Fatal("clone lost its own writes")
+	}
+}
+
+// TestPhaseBufferSteadyStateNoAllocs verifies the freelist: cycling messages
+// through take-and-readd at a sliding phase window settles to zero
+// allocations per round.
+func TestPhaseBufferSteadyStateNoAllocs(t *testing.T) {
+	var p PhaseBuffer
+	ph := msg.Phase(0)
+	// Warm up bucket and message storage.
+	for i := 0; i < 8; i++ {
+		p.Add(ph+1, mkMsg(ph+1, msg.ID(i)))
+	}
+	var dst []msg.Message
+	dst = p.TakeInto(ph+1, dst[:0])
+	_ = dst
+	allocs := testing.AllocsPerRun(200, func() {
+		ph++
+		for i := 0; i < 8; i++ {
+			p.Add(ph+1, mkMsg(ph+1, msg.ID(i)))
+		}
+		dst = p.TakeInto(ph+1, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state buffering allocated %.1f times per round", allocs)
+	}
+}

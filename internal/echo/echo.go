@@ -11,11 +11,18 @@
 // a second, contradictory echo from the same sender is ignored, so no two
 // correct processes can accept different values from the same subject in the
 // same phase (the consistency claim of Theorem 4).
+//
+// Tallies are dense: process IDs are always 0..n-1 and values binary, so a
+// phase's state is a flat [n][2] count table plus two bitsets (sender x
+// subject dedup, per-subject acceptance) rather than the three maps an
+// earlier version kept. Phase tables recycle through a freelist on Prune,
+// so steady-state observation allocates nothing.
 package echo
 
 import (
 	"fmt"
 
+	"resilient/internal/dense"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
 )
@@ -32,36 +39,47 @@ func (a Accept) String() string {
 	return fmt.Sprintf("accept(p%d, phase=%s, v=%d)", a.Subject, a.Phase, a.Value)
 }
 
-type countKey struct {
-	subject msg.ID
-	phase   msg.Phase
+// phaseTally is one phase's dense echo state.
+type phaseTally struct {
+	phase msg.Phase
+	// counts[subject] tallies echoes for subject's value 0 and 1.
+	counts [][2]int32
+	// seen has bit sender*n+subject set once that sender's echo for the
+	// subject was counted (the first-message rule).
+	seen dense.Bitset
+	// accepted has bit subject set once (subject, phase) was accepted.
+	accepted dense.Bitset
 }
 
-type senderKey struct {
-	sender  msg.ID
-	subject msg.ID
-	phase   msg.Phase
+func (t *phaseTally) reset(n int, phase msg.Phase) {
+	t.phase = phase
+	if cap(t.counts) < n {
+		t.counts = make([][2]int32, n)
+	} else {
+		t.counts = t.counts[:n]
+		clear(t.counts)
+	}
+	t.seen.Reset(n * n)
+	t.accepted.Reset(n)
 }
 
 // Tracker counts echoes and reports acceptances. It is not safe for
 // concurrent use.
 type Tracker struct {
-	n, k     int
-	counts   map[countKey]*[2]int
-	seen     map[senderKey]bool
-	accepted map[countKey]bool
-	low      msg.Phase // phases below this have been pruned
+	n, k    int
+	low     msg.Phase // phases below this have been pruned
+	cur     *phaseTally
+	tallies map[msg.Phase]*phaseTally
+	free    []*phaseTally
 }
 
 // NewTracker returns an empty tracker for an n-process system tolerating k
 // malicious processes.
 func NewTracker(n, k int) *Tracker {
 	return &Tracker{
-		n:        n,
-		k:        k,
-		counts:   make(map[countKey]*[2]int),
-		seen:     make(map[senderKey]bool),
-		accepted: make(map[countKey]bool),
+		n:       n,
+		k:       k,
+		tallies: make(map[msg.Phase]*phaseTally),
 	}
 }
 
@@ -69,31 +87,59 @@ func NewTracker(n, k int) *Tracker {
 // happens: the least integer strictly greater than (n+k)/2.
 func (t *Tracker) Threshold() int { return quorum.EchoAcceptCount(t.n, t.k) }
 
+// tally returns phase p's state, creating it (from the freelist when
+// possible) on first use. The single-entry cur cache makes the common case
+// -- every echo lands on the machine's current phase -- map-free.
+func (t *Tracker) tally(p msg.Phase) *phaseTally {
+	if t.cur != nil && t.cur.phase == p {
+		return t.cur
+	}
+	pt := t.tallies[p]
+	if pt == nil {
+		if n := len(t.free); n > 0 {
+			pt = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			pt = new(phaseTally)
+		}
+		pt.reset(t.n, p)
+		t.tallies[p] = pt
+	}
+	t.cur = pt
+	return pt
+}
+
+// lookup returns phase p's state without creating it.
+func (t *Tracker) lookup(p msg.Phase) *phaseTally {
+	if t.cur != nil && t.cur.phase == p {
+		return t.cur
+	}
+	return t.tallies[p]
+}
+
+// inRange reports whether id is a real process identifier.
+func (t *Tracker) inRange(id msg.ID) bool { return id >= 0 && int(id) < t.n }
+
 // Observe registers an echo from sender asserting that subject initiated
 // value v in phase p. It returns an Accept exactly once per (subject, phase):
 // on the echo that first pushes the count strictly above (n+k)/2.
 //
 // Duplicate echoes from the same sender for the same (subject, phase) are
 // ignored regardless of value, matching the pseudocode's first-message rule.
-// Echoes for pruned phases are ignored.
+// Echoes for pruned phases, or naming ids outside 0..n-1 (which no real
+// process has), are ignored.
 func (t *Tracker) Observe(sender, subject msg.ID, p msg.Phase, v msg.Value) (Accept, bool) {
-	if p < t.low || !v.Valid() {
+	if p < t.low || !v.Valid() || !t.inRange(sender) || !t.inRange(subject) {
 		return Accept{}, false
 	}
-	sk := senderKey{sender: sender, subject: subject, phase: p}
-	if t.seen[sk] {
+	pt := t.tally(p)
+	if pt.seen.Set(int(sender)*t.n + int(subject)) {
 		return Accept{}, false
 	}
-	t.seen[sk] = true
-	ck := countKey{subject: subject, phase: p}
-	c := t.counts[ck]
-	if c == nil {
-		c = new([2]int)
-		t.counts[ck] = c
-	}
+	c := &pt.counts[subject]
 	c[v]++
-	if !t.accepted[ck] && quorum.ExceedsHalfNPlusK(c[v], t.n, t.k) {
-		t.accepted[ck] = true
+	if !pt.accepted.Test(int(subject)) && quorum.ExceedsHalfNPlusK(int(c[v]), t.n, t.k) {
+		pt.accepted.Set(int(subject))
 		return Accept{Subject: subject, Phase: p, Value: v}, true
 	}
 	return Accept{}, false
@@ -102,42 +148,52 @@ func (t *Tracker) Observe(sender, subject msg.ID, p msg.Phase, v msg.Value) (Acc
 // Seen reports whether an echo from sender for (subject, phase) was already
 // counted.
 func (t *Tracker) Seen(sender, subject msg.ID, p msg.Phase) bool {
-	return t.seen[senderKey{sender: sender, subject: subject, phase: p}]
+	if !t.inRange(sender) || !t.inRange(subject) {
+		return false
+	}
+	if pt := t.lookup(p); pt != nil {
+		return pt.seen.Test(int(sender)*t.n + int(subject))
+	}
+	return false
 }
 
 // Count returns the current echo tallies for (subject, phase).
 func (t *Tracker) Count(subject msg.ID, p msg.Phase) (zeros, ones int) {
-	if c := t.counts[countKey{subject: subject, phase: p}]; c != nil {
-		return c[0], c[1]
+	if !t.inRange(subject) {
+		return 0, 0
+	}
+	if pt := t.lookup(p); pt != nil {
+		return int(pt.counts[subject][0]), int(pt.counts[subject][1])
 	}
 	return 0, 0
 }
 
 // Accepted reports whether (subject, phase) has already been accepted.
 func (t *Tracker) Accepted(subject msg.ID, p msg.Phase) bool {
-	return t.accepted[countKey{subject: subject, phase: p}]
+	if !t.inRange(subject) {
+		return false
+	}
+	if pt := t.lookup(p); pt != nil {
+		return pt.accepted.Test(int(subject))
+	}
+	return false
 }
 
 // Prune discards all bookkeeping for phases strictly below p and ignores
 // future echoes for those phases. Wildcard state is kept by the caller, not
-// the tracker, so pruning never loses post-decision messages.
+// the tracker, so pruning never loses post-decision messages. Pruned phase
+// tables are recycled for later phases.
 func (t *Tracker) Prune(p msg.Phase) {
 	if p <= t.low {
 		return
 	}
-	for k := range t.counts {
-		if k.phase < p {
-			delete(t.counts, k)
-		}
-	}
-	for k := range t.seen {
-		if k.phase < p {
-			delete(t.seen, k)
-		}
-	}
-	for k := range t.accepted {
-		if k.phase < p {
-			delete(t.accepted, k)
+	for ph, pt := range t.tallies {
+		if ph < p {
+			delete(t.tallies, ph)
+			if t.cur == pt {
+				t.cur = nil
+			}
+			t.free = append(t.free, pt)
 		}
 	}
 	t.low = p

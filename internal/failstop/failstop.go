@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"resilient/internal/core"
+	"resilient/internal/dense"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
 	"resilient/internal/trace"
@@ -32,8 +33,9 @@ import (
 // Machine is a Figure-1 protocol instance at one process. It implements
 // core.Machine and is not safe for concurrent use (engines serialize steps).
 type Machine struct {
-	cfg  core.Config
-	sink trace.Sink
+	cfg     core.Config
+	sink    trace.Sink
+	traceOn bool
 
 	value       msg.Value
 	cardinality int
@@ -41,7 +43,11 @@ type Machine struct {
 
 	msgCount [2]int
 	witCount [2]int
-	pending  map[msg.Phase][]msg.Message
+	pending  dense.PhaseBuffer
+
+	// scratch is the per-step replay queue, reused across OnMessage calls
+	// so a delivery that triggers no phase change allocates nothing.
+	scratch []msg.Message
 
 	started  bool
 	decided  bool
@@ -77,9 +83,9 @@ func newUnchecked(cfg core.Config, sink trace.Sink) *Machine {
 	return &Machine{
 		cfg:         cfg,
 		sink:        sink,
+		traceOn:     sink.Enabled(),
 		value:       cfg.Input,
 		cardinality: 1,
-		pending:     make(map[msg.Phase][]msg.Message),
 	}
 }
 
@@ -119,35 +125,34 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 		return nil // foreign or malformed; the fail-stop model never lies, so just drop
 	}
 	var out []core.Outbound
-	queue := []msg.Message{in}
-	for len(queue) > 0 && !m.halted {
-		cur := queue[0]
-		queue = queue[1:]
+	queue := append(m.scratch[:0], in)
+	for head := 0; head < len(queue) && !m.halted; head++ {
+		cur := queue[head]
 		switch {
 		case cur.Phase < m.phase:
 			continue // stale: the pseudocode silently discards these
 		case cur.Phase > m.phase:
-			m.pending[cur.Phase] = append(m.pending[cur.Phase], cur)
+			m.pending.Add(cur.Phase, cur)
 			continue
 		}
 		m.msgCount[cur.Value]++
 		if quorum.ExceedsHalf(int(cur.Cardinality), m.cfg.N) {
 			m.witCount[cur.Value]++
-			m.sink.Record(trace.Event{
-				Kind: trace.EventWitness, Process: m.cfg.Self,
-				Phase: m.phase, Value: cur.Value,
-			})
+			if m.traceOn {
+				m.sink.Record(trace.Event{
+					Kind: trace.EventWitness, Process: m.cfg.Self,
+					Phase: m.phase, Value: cur.Value,
+				})
+			}
 		}
 		if m.msgCount[0]+m.msgCount[1] == quorum.WaitCount(m.cfg.N, m.cfg.K) {
 			out = append(out, m.endPhase()...)
 			if !m.halted {
-				if buf := m.pending[m.phase]; len(buf) > 0 {
-					queue = append(queue, buf...)
-					delete(m.pending, m.phase)
-				}
+				queue = m.pending.TakeInto(m.phase, queue)
 			}
 		}
 	}
+	m.scratch = queue[:0]
 	return out
 }
 
@@ -212,10 +217,8 @@ func (m *Machine) endPhase() []core.Outbound {
 // exploration (internal/explore).
 func (m *Machine) Clone() *Machine {
 	c := *m
-	c.pending = make(map[msg.Phase][]msg.Message, len(m.pending))
-	for p, msgs := range m.pending {
-		c.pending[p] = append([]msg.Message(nil), msgs...)
-	}
+	c.pending = m.pending.Clone()
+	c.scratch = nil
 	return &c
 }
 
@@ -238,14 +241,9 @@ func (m *Machine) Snapshot() []byte {
 		flags |= 4
 	}
 	b = append(b, flags, byte(m.decision))
-	// Pending messages in deterministic order.
-	phases := make([]int, 0, len(m.pending))
-	for p := range m.pending {
-		phases = append(phases, int(p))
-	}
-	sort.Ints(phases)
-	for _, p := range phases {
-		msgs := m.pending[msg.Phase(p)]
+	// Pending messages in deterministic order (PhaseBuffer iterates phases
+	// ascending; message encodings are sorted within a phase).
+	m.pending.ForEach(func(p msg.Phase, msgs []msg.Message) {
 		encs := make([]string, len(msgs))
 		for i, mm := range msgs {
 			encs[i] = string(msg.Encode(mm))
@@ -255,7 +253,7 @@ func (m *Machine) Snapshot() []byte {
 		for _, e := range encs {
 			b = append(b, e...)
 		}
-	}
+	})
 	return b
 }
 

@@ -25,21 +25,12 @@ import (
 	"fmt"
 
 	"resilient/internal/core"
+	"resilient/internal/dense"
 	"resilient/internal/echo"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
 	"resilient/internal/trace"
 )
-
-type initialKey struct {
-	from  msg.ID
-	phase msg.Phase
-}
-
-type wildKey struct {
-	sender  msg.ID
-	subject msg.ID
-}
 
 type wildEcho struct {
 	sender  msg.ID
@@ -47,11 +38,41 @@ type wildEcho struct {
 	value   msg.Value
 }
 
+// phaseMarks is a dense replacement for the map[(id, phase)]bool initial-echo
+// dedup: one n-bit set per phase, keyed by the sender id. Initials are never
+// pruned (Figure 2 applies no phase guard to them), so sets accumulate one
+// per phase seen; a single-entry cache keeps the common same-phase case
+// map-free.
+type phaseMarks struct {
+	n     int
+	sets  map[msg.Phase]*dense.Bitset
+	cur   *dense.Bitset
+	curPh msg.Phase
+}
+
+// mark sets bit id for phase ph and reports whether it was already set.
+func (p *phaseMarks) mark(ph msg.Phase, id msg.ID) (already bool) {
+	if p.cur == nil || p.curPh != ph {
+		if p.sets == nil {
+			p.sets = make(map[msg.Phase]*dense.Bitset)
+		}
+		s := p.sets[ph]
+		if s == nil {
+			b := dense.NewBitset(p.n)
+			s = &b
+			p.sets[ph] = s
+		}
+		p.cur, p.curPh = s, ph
+	}
+	return p.cur.Set(int(id))
+}
+
 // Machine is a Figure-2 protocol instance at one process. It implements
 // core.Machine and is not safe for concurrent use.
 type Machine struct {
-	cfg  core.Config
-	sink trace.Sink
+	cfg     core.Config
+	sink    trace.Sink
+	traceOn bool
 
 	value msg.Value
 	phase msg.Phase
@@ -59,14 +80,18 @@ type Machine struct {
 	tracker  *echo.Tracker
 	msgCount [2]int
 
-	echoedInitial map[initialKey]bool
-	echoedWild    map[msg.ID]bool
+	echoedInitial phaseMarks
+	echoedWild    dense.Bitset // one bit per origin process
 
-	wildSeen  map[wildKey]bool
-	wildOrder []wildEcho // receipt order, for deterministic re-application
-	wildNext  int        // wild entries [0:wildNext) already applied to current phase
+	wildSeen  dense.Bitset // sender*n+subject, dedup for wildcard echoes
+	wildOrder []wildEcho   // receipt order, for deterministic re-application
+	wildNext  int          // wild entries [0:wildNext) already applied to current phase
 
-	pendingEchoes map[msg.Phase][]msg.Message
+	pendingEchoes dense.PhaseBuffer
+
+	// scratch is the per-step echo replay queue, reused across OnMessage
+	// calls so current-phase echo processing allocates nothing.
+	scratch []msg.Message
 
 	started  bool
 	decided  bool
@@ -98,12 +123,12 @@ func NewUnsafe(cfg core.Config, sink trace.Sink) *Machine {
 	return &Machine{
 		cfg:           cfg,
 		sink:          sink,
+		traceOn:       sink.Enabled(),
 		value:         cfg.Input,
 		tracker:       echo.NewTracker(cfg.N, cfg.K),
-		echoedInitial: make(map[initialKey]bool),
-		echoedWild:    make(map[msg.ID]bool),
-		wildSeen:      make(map[wildKey]bool),
-		pendingEchoes: make(map[msg.Phase][]msg.Message),
+		echoedInitial: phaseMarks{n: cfg.N},
+		echoedWild:    dense.NewBitset(cfg.N),
+		wildSeen:      dense.NewBitset(cfg.N * cfg.N),
 	}
 }
 
@@ -162,17 +187,14 @@ func (m *Machine) onInitial(in msg.Message) []core.Outbound {
 		return nil
 	}
 	if in.Phase.IsWildcard() {
-		if m.echoedWild[in.From] {
+		if m.echoedWild.Set(int(in.From)) {
 			return nil
 		}
-		m.echoedWild[in.From] = true
 		return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, msg.WildcardPhase, in.Value))}
 	}
-	key := initialKey{from: in.From, phase: in.Phase}
-	if m.echoedInitial[key] {
+	if m.echoedInitial.mark(in.Phase, in.From) {
 		return nil
 	}
-	m.echoedInitial[key] = true
 	return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, in.Phase, in.Value))}
 }
 
@@ -183,40 +205,43 @@ func (m *Machine) onEcho(in msg.Message) []core.Outbound {
 		return nil
 	}
 	if in.Phase.IsWildcard() {
-		wk := wildKey{sender: in.From, subject: in.Subject}
-		if m.wildSeen[wk] {
+		if in.Subject < 0 || int(in.Subject) >= m.cfg.N {
+			return nil // no such process; nothing it claims can be accepted
+		}
+		if m.wildSeen.Set(int(in.From)*m.cfg.N + int(in.Subject)) {
 			return nil
 		}
-		m.wildSeen[wk] = true
 		m.wildOrder = append(m.wildOrder, wildEcho{sender: in.From, subject: in.Subject, value: in.Value})
 		// Apply immediately to the current phase; re-applied automatically
 		// on every later phase.
-		return m.drive(nil)
+		m.scratch = m.scratch[:0]
+		return m.drive()
 	}
 	switch {
 	case in.Phase < m.phase:
 		return nil
 	case in.Phase > m.phase:
-		m.pendingEchoes[in.Phase] = append(m.pendingEchoes[in.Phase], in)
+		m.pendingEchoes.Add(in.Phase, in)
 		return nil
 	}
-	return m.drive([]msg.Message{in})
+	m.scratch = append(m.scratch[:0], in)
+	return m.drive()
 }
 
-// drive processes current-phase echoes (seed plus any wildcards and buffered
-// echoes that become applicable), cascading through phase endings until the
-// machine quiesces, decides, or runs out of input.
-func (m *Machine) drive(seed []msg.Message) []core.Outbound {
+// drive processes current-phase echoes (the machine's scratch queue, seeded
+// by the caller, plus any wildcards and buffered echoes that become
+// applicable), cascading through phase endings until the machine quiesces,
+// decides, or runs out of input. The scratch queue's storage is reused
+// across steps.
+func (m *Machine) drive() []core.Outbound {
 	var out []core.Outbound
-	queue := seed
+	queue := m.scratch
+	head := 0
 	for !m.halted {
 		if m.phaseComplete() {
 			out = append(out, m.endPhase()...)
 			if !m.halted {
-				if buf := m.pendingEchoes[m.phase]; len(buf) > 0 {
-					queue = append(queue, buf...)
-					delete(m.pendingEchoes, m.phase)
-				}
+				queue = m.pendingEchoes.TakeInto(m.phase, queue)
 			}
 			continue
 		}
@@ -227,19 +252,20 @@ func (m *Machine) drive(seed []msg.Message) []core.Outbound {
 			m.observe(w.sender, w.subject, w.value)
 			continue
 		}
-		if len(queue) == 0 {
+		if head >= len(queue) {
 			break
 		}
-		cur := queue[0]
-		queue = queue[1:]
+		cur := queue[head]
+		head++
 		if cur.Phase != m.phase {
 			if cur.Phase > m.phase {
-				m.pendingEchoes[cur.Phase] = append(m.pendingEchoes[cur.Phase], cur)
+				m.pendingEchoes.Add(cur.Phase, cur)
 			}
 			continue
 		}
 		m.observe(cur.From, cur.Subject, cur.Value)
 	}
+	m.scratch = queue[:0]
 	return out
 }
 
@@ -251,10 +277,12 @@ func (m *Machine) observe(sender, subject msg.ID, v msg.Value) {
 		return
 	}
 	m.msgCount[acc.Value]++
-	m.sink.Record(trace.Event{
-		Kind: trace.EventAccept, Process: m.cfg.Self, Phase: m.phase, Value: acc.Value,
-		Note: fmt.Sprintf("from p%d", acc.Subject),
-	})
+	if m.traceOn {
+		m.sink.Record(trace.Event{
+			Kind: trace.EventAccept, Process: m.cfg.Self, Phase: m.phase, Value: acc.Value,
+			Note: fmt.Sprintf("from p%d", acc.Subject),
+		})
+	}
 }
 
 func (m *Machine) phaseComplete() bool {
@@ -280,7 +308,7 @@ func (m *Machine) endPhase() []core.Outbound {
 	m.msgCount = [2]int{}
 	m.wildNext = 0 // wildcards re-apply to the new phase
 	m.tracker.Prune(m.phase)
-	delete(m.pendingEchoes, m.phase-1)
+	m.pendingEchoes.DropBelow(m.phase)
 
 	if m.decided {
 		m.sink.Record(trace.Event{

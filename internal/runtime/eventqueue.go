@@ -1,0 +1,87 @@
+package runtime
+
+// eventQueue is a 4-ary min-heap of pending deliveries ordered by
+// (at, seq). It replaces container/heap, whose any-typed Push/Pop box every
+// event on the heap's hottest path; here push and pop are monomorphic, so
+// steady-state queue traffic performs zero allocations (the backing array
+// grows amortized and is then reused for the rest of the run).
+//
+// The ordering key (at, seq) is a strict total order -- seq is unique per
+// run -- so pop order is identical to the binary container/heap it
+// replaces: the heap arity changes only the internal tree shape, never
+// which event is the minimum. A 4-ary layout halves the tree depth, which
+// wins on sift-down-heavy workloads like a discrete-event loop that pops as
+// often as it pushes.
+type eventQueue struct {
+	h []event
+}
+
+// before reports whether a orders strictly before b.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// len returns the number of queued events.
+func (q *eventQueue) len() int { return len(q.h) }
+
+// peek returns the minimum event without removing it.
+func (q *eventQueue) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}
+
+// push inserts e, sifting it up to its heap position.
+func (q *eventQueue) push(e event) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !before(&q.h[i], &q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. It must not be called on an
+// empty queue.
+func (q *eventQueue) pop() event {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = event{} // drop the Payload reference for the GC
+	q.h = q.h[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if before(&q.h[c], &q.h[min]) {
+				min = c
+			}
+		}
+		if !before(&q.h[min], &q.h[i]) {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}

@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"testing"
+)
+
+// refHeap is the container/heap implementation the typed queue replaced,
+// kept here as the ordering oracle.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventQueueMatchesContainerHeap drives the 4-ary queue and the
+// container/heap oracle with identical interleaved push/pop sequences,
+// including duplicate timestamps (where the seq tiebreak decides), and
+// requires identical pop orders.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		var q eventQueue
+		var ref refHeap
+		var seq uint64
+		for op := 0; op < 5000; op++ {
+			if q.len() != ref.Len() {
+				t.Fatalf("seed %d op %d: len %d vs %d", seed, op, q.len(), ref.Len())
+			}
+			if rng.IntN(3) != 0 || ref.Len() == 0 {
+				seq++
+				// Coarse timestamps force frequent at-ties.
+				e := event{at: float64(rng.IntN(50)), seq: seq}
+				q.push(e)
+				heap.Push(&ref, e)
+				continue
+			}
+			got := q.pop()
+			want := heap.Pop(&ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("seed %d op %d: popped (at=%v seq=%d), oracle (at=%v seq=%d)",
+					seed, op, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		for ref.Len() > 0 {
+			got, want := q.pop(), heap.Pop(&ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("seed %d drain: popped seq=%d, oracle seq=%d", seed, got.seq, want.seq)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("seed %d: queue not drained", seed)
+		}
+	}
+}
+
+func TestEventQueuePeek(t *testing.T) {
+	var q eventQueue
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty queue returned ok")
+	}
+	q.push(event{at: 2, seq: 1})
+	q.push(event{at: 1, seq: 2})
+	if e, ok := q.peek(); !ok || e.at != 1 {
+		t.Fatalf("peek = (%v, %v), want at=1", e.at, ok)
+	}
+	if q.len() != 2 {
+		t.Fatalf("peek consumed an event: len=%d", q.len())
+	}
+}
+
+// TestEventQueuePushPopNoAllocs locks in the reason the typed queue exists:
+// steady-state push/pop traffic must not allocate (container/heap boxed
+// every event through any).
+func TestEventQueuePushPopNoAllocs(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 1024; i++ { // pre-grow the backing array
+		q.push(event{at: float64(i), seq: uint64(i)})
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	var seq uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			seq++
+			q.push(event{at: float64(seq % 97), seq: seq})
+		}
+		for q.len() > 0 {
+			q.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per round", allocs)
+	}
+}
+
+// BenchmarkEventQueue measures raw queue throughput: push 1e5 events with
+// colliding timestamps, then pop them all.
+func BenchmarkEventQueue(b *testing.B) {
+	const size = 100_000
+	rng := rand.New(rand.NewPCG(42, 0))
+	at := make([]float64, size)
+	for i := range at {
+		at[i] = float64(rng.IntN(1000))
+	}
+	var q eventQueue
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < size; j++ {
+			q.push(event{at: at[j], seq: uint64(j)})
+		}
+		for q.len() > 0 {
+			q.pop()
+		}
+	}
+}

@@ -16,7 +16,6 @@
 package runtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -208,25 +207,6 @@ type event struct {
 	m   msg.Message
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
-}
-
 // runMetrics holds the engine's instrument handles, resolved once per run.
 // Every handle is nil when no registry is attached, making each record call
 // a no-op (see the metrics package).
@@ -273,6 +253,7 @@ type runner struct {
 	cfg      Config
 	rng      *rand.Rand
 	sink     trace.Sink
+	traceOn  bool // sink.Enabled(), cached: gates per-message Event building
 	sch      sched.Scheduler
 	met      runMetrics
 	machines []core.Machine
@@ -280,13 +261,27 @@ type runner struct {
 	crashed  []bool
 	now      float64
 	seq      uint64
-	queue    eventHeap
+	queue    eventQueue
 	result   *Result
+	// perm is the broadcast recipient-order scratch, shuffled in place per
+	// broadcast (replacing a fresh rng.Perm allocation per call).
+	perm []int
 	// correct[i] reports whether process i counts toward agreement.
 	correct []bool
 	// mustDecide counts correct, crash-free processes yet to decide.
 	mustDecide int
 	decided    []bool
+	// reporters[i] is machines[i]'s ValueReporter face, resolved once at
+	// spawn so the omniscient world view never type-asserts on a hot path.
+	reporters []core.ValueReporter
+	// stepStamp identifies the current machine step; valStamp/valZeros/
+	// valOnes memoize CorrectValueCounts within a step (no other machine's
+	// state can change until the step ends, so one scan per step suffices
+	// no matter how many sends a Byzantine balancer rewrites).
+	stepStamp uint64
+	valStamp  uint64
+	valZeros  int
+	valOnes   int
 }
 
 type worldView struct{ r *runner }
@@ -297,18 +292,21 @@ func (w worldView) N() int { return w.r.cfg.N }
 func (w worldView) K() int { return w.r.cfg.K }
 
 func (w worldView) CorrectValueCounts() (zeros, ones int) {
-	for i, m := range w.r.machines {
-		if !w.r.correct[i] || w.r.isDead(msg.ID(i)) {
+	r := w.r
+	if r.valStamp == r.stepStamp {
+		return r.valZeros, r.valOnes
+	}
+	for i, vr := range r.reporters {
+		if vr == nil || !r.correct[i] || r.isDead(msg.ID(i)) {
 			continue
 		}
-		if vr, ok := m.(core.ValueReporter); ok {
-			if vr.CurrentValue() == msg.V1 {
-				ones++
-			} else {
-				zeros++
-			}
+		if vr.CurrentValue() == msg.V1 {
+			ones++
+		} else {
+			zeros++
 		}
 	}
+	r.valStamp, r.valZeros, r.valOnes = r.stepStamp, zeros, ones
 	return zeros, ones
 }
 
@@ -337,16 +335,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	started := time.Now()
 	r := &runner{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		sink:     cfg.Sink,
-		sch:      cfg.Scheduler,
-		met:      newRunMetrics(cfg.Metrics),
-		machines: make([]core.Machine, cfg.N),
-		trackers: make([]*faults.Tracker, cfg.N),
-		crashed:  make([]bool, cfg.N),
-		correct:  make([]bool, cfg.N),
-		decided:  make([]bool, cfg.N),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		sink:      cfg.Sink,
+		sch:       cfg.Scheduler,
+		met:       newRunMetrics(cfg.Metrics),
+		machines:  make([]core.Machine, cfg.N),
+		trackers:  make([]*faults.Tracker, cfg.N),
+		crashed:   make([]bool, cfg.N),
+		correct:   make([]bool, cfg.N),
+		decided:   make([]bool, cfg.N),
+		reporters: make([]core.ValueReporter, cfg.N),
+		perm:      make([]int, cfg.N),
 		result: &Result{
 			Decisions:     make(map[msg.ID]msg.Value),
 			DecisionPhase: make(map[msg.ID]msg.Phase),
@@ -356,6 +356,7 @@ func Run(cfg Config) (*Result, error) {
 	if r.sink == nil {
 		r.sink = trace.Nop{}
 	}
+	r.traceOn = r.sink.Enabled()
 	if r.sch == nil {
 		r.sch = sched.Uniform{Min: 0.1, Max: 1}
 	}
@@ -384,10 +385,12 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("spawn p%d: nil machine", i)
 		}
 		r.machines[i] = m
+		r.reporters[i], _ = m.(core.ValueReporter)
 		r.trackers[i] = faults.NewTracker(cfg.Crashes, id)
 	}
 	// Initial steps.
 	for i, m := range r.machines {
+		r.stepStamp++
 		r.noteProgress(msg.ID(i)) // a process may be planned to die before starting
 		r.dispatch(msg.ID(i), m.Start())
 		r.checkDecision(msg.ID(i))
@@ -447,8 +450,20 @@ func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
 			continue
 		}
 		// Broadcast in random recipient order, so that a mid-broadcast
-		// death reaches a random subset of processes.
-		for _, q := range r.rng.Perm(r.cfg.N) {
+		// death reaches a random subset of processes. The in-place
+		// Fisher-Yates over the runner's scratch slice draws exactly the
+		// variates rng.Perm would (rand/v2 Perm = identity + Shuffle, and
+		// Shuffle's step i draws Uint64N(i+1)), so executions are
+		// seed-for-seed identical to the allocating version it replaced.
+		perm := r.perm
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := int(r.rng.Uint64N(uint64(i + 1)))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for _, q := range perm {
 			if !tracker.AllowSend(phase) {
 				r.markCrashed(from)
 				return
@@ -461,14 +476,16 @@ func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
 func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
 	d := sched.Clamp(r.sch.Delay(from, to, m, r.now, r.rng))
 	r.seq++
-	heap.Push(&r.queue, event{at: r.now + d, seq: r.seq, to: to, m: m})
+	r.queue.push(event{at: r.now + d, seq: r.seq, to: to, m: m})
 	r.result.MessagesSent++
 	r.met.sent.Inc()
-	r.sink.Record(trace.Event{
-		Time: r.now, Kind: trace.EventSend, Process: from,
-		Phase: m.Phase, Value: m.Value,
-		Note: fmt.Sprintf("%s -> p%d", m.Kind, to),
-	})
+	if r.traceOn {
+		r.sink.Record(trace.Event{
+			Time: r.now, Kind: trace.EventSend, Process: from,
+			Phase: m.Phase, Value: m.Value,
+			Note: fmt.Sprintf("%s -> p%d", m.Kind, to),
+		})
+	}
 }
 
 func (r *runner) loop() {
@@ -484,7 +501,7 @@ func (r *runner) loop() {
 			r.result.Stalled = EventBudget
 			return
 		}
-		next, ok := r.queue.Peek()
+		next, ok := r.queue.peek()
 		if !ok {
 			if r.mustDecide > 0 {
 				r.result.Stalled = QueueDrained
@@ -497,7 +514,7 @@ func (r *runner) loop() {
 			}
 			return
 		}
-		e := heap.Pop(&r.queue).(event)
+		e := r.queue.pop()
 		r.now = e.at
 		r.result.Events++
 		r.met.events.Inc()
@@ -514,11 +531,14 @@ func (r *runner) deliver(e event) {
 	}
 	r.result.MessagesDelivered++
 	r.met.delivered.Inc()
-	r.sink.Record(trace.Event{
-		Time: r.now, Kind: trace.EventDeliver, Process: id,
-		Phase: e.m.Phase, Value: e.m.Value,
-		Note: fmt.Sprintf("%s from p%d", e.m.Kind, e.m.From),
-	})
+	if r.traceOn {
+		r.sink.Record(trace.Event{
+			Time: r.now, Kind: trace.EventDeliver, Process: id,
+			Phase: e.m.Phase, Value: e.m.Value,
+			Note: fmt.Sprintf("%s from p%d", e.m.Kind, e.m.From),
+		})
+	}
+	r.stepStamp++
 	outs := m.OnMessage(e.m)
 	r.noteProgress(id)
 	if !r.isDead(id) {

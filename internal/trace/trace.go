@@ -84,8 +84,17 @@ func (e Event) String() string {
 
 // Sink receives trace events. Implementations must be safe for use from a
 // single goroutine; the Buffer sink is additionally safe for concurrent use.
+//
+// Enabled is the hot-path fast gate: emitters that would do work just to
+// build an Event (formatting a note, say) ask Enabled first and skip the
+// whole Record call when it returns false. Enabled must be stable for the
+// lifetime of a run; the engine caches it once per execution.
 type Sink interface {
 	Record(Event)
+	// Enabled reports whether recorded events are observable. Sinks that
+	// discard everything return false so emitters can skip Event
+	// construction entirely.
+	Enabled() bool
 }
 
 // Nop discards all events.
@@ -94,7 +103,14 @@ type Nop struct{}
 // Record implements Sink by doing nothing.
 func (Nop) Record(Event) {}
 
+// Enabled implements Sink: a Nop sink observes nothing.
+func (Nop) Enabled() bool { return false }
+
 var _ Sink = Nop{}
+
+// On reports whether s is a non-nil sink that observes events; it is the
+// nil-tolerant form of s.Enabled() emitters use.
+func On(s Sink) bool { return s != nil && s.Enabled() }
 
 // Buffer accumulates events in memory. It is safe for concurrent use.
 type Buffer struct {
@@ -126,6 +142,9 @@ func (b *Buffer) Events() []Event {
 	copy(out, b.events)
 	return out
 }
+
+// Enabled implements Sink.
+func (b *Buffer) Enabled() bool { return true }
 
 // Len returns the number of recorded events.
 func (b *Buffer) Len() int {
@@ -164,6 +183,9 @@ func (t *Writer) Record(e Event) {
 	fmt.Fprintln(t.w, e.String())
 }
 
+// Enabled implements Sink.
+func (t *Writer) Enabled() bool { return true }
+
 var _ Sink = (*Writer)(nil)
 
 // Multi fans events out to several sinks.
@@ -174,6 +196,16 @@ func (m Multi) Record(e Event) {
 	for _, s := range m {
 		s.Record(e)
 	}
+}
+
+// Enabled implements Sink: a Multi observes events iff any member does.
+func (m Multi) Enabled() bool {
+	for _, s := range m {
+		if s.Enabled() {
+			return true
+		}
+	}
+	return false
 }
 
 var _ Sink = Multi(nil)
