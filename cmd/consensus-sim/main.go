@@ -8,7 +8,8 @@
 //	consensus-sim -protocol failstop -n 9 -k 4 -crash "3:1:5,7:0:0" -trials 100
 //
 // With -trials > 1 it reports aggregate statistics over seeded runs instead
-// of a single execution.
+// of a single execution; -workers fans the trials across goroutines without
+// changing any reported number (trial tr always uses seed+tr).
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"resilient"
 	"resilient/internal/stats"
+	"resilient/internal/sweep"
 	"resilient/internal/trace"
 )
 
@@ -42,6 +44,7 @@ func run(args []string) error {
 		inputsStr   = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
 		seed        = fs.Uint64("seed", 1, "base random seed")
 		trials      = fs.Int("trials", 1, "number of seeded runs")
+		workers     = fs.Int("workers", 0, "concurrent trial workers when -trials > 1 (0 = GOMAXPROCS); output is identical for every value")
 		crashSpec   = fs.String("crash", "", "crash plan: comma-separated id:phase:afterSends entries")
 		advSpec     = fs.String("adversary", "", "byzantine strategy on the k highest-numbered processes: silent | balancer | flipper | liar0 | liar1 | equivocator | double-echo | mute")
 		showTrace   = fs.Bool("trace", false, "print the execution trace (single-trial runs only)")
@@ -121,9 +124,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	var phases, msgs stats.Accumulator
-	agree, decided := 0, 0
-	for tr := 0; tr < *trials; tr++ {
+	type trialOut struct {
+		agree, decided bool
+		phases, msgs   float64
+	}
+	results, err := sweep.Run(*trials, *workers, func(tr int) (trialOut, error) {
 		res, err := resilient.Simulate(proto, *n, *k, inputs, resilient.SimOptions{
 			Seed:        *seed + uint64(tr),
 			Crashes:     crashes,
@@ -132,13 +137,7 @@ func run(args []string) error {
 			Metrics:     reg,
 		})
 		if err != nil {
-			return err
-		}
-		if res.Agreement {
-			agree++
-		}
-		if res.AllDecided {
-			decided++
+			return trialOut{}, err
 		}
 		maxPh := 0
 		for _, ph := range res.DecisionPhase {
@@ -146,8 +145,27 @@ func run(args []string) error {
 				maxPh = int(ph)
 			}
 		}
-		phases.Add(float64(maxPh))
-		msgs.Add(float64(res.MessagesSent))
+		return trialOut{
+			agree:   res.Agreement,
+			decided: res.AllDecided,
+			phases:  float64(maxPh),
+			msgs:    float64(res.MessagesSent),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	var phases, msgs stats.Accumulator
+	agree, decided := 0, 0
+	for _, r := range results {
+		if r.agree {
+			agree++
+		}
+		if r.decided {
+			decided++
+		}
+		phases.Add(r.phases)
+		msgs.Add(r.msgs)
 	}
 	fmt.Printf("protocol   %v  n=%d k=%d  trials=%d\n", proto, *n, *k, *trials)
 	fmt.Printf("terminated %d/%d\n", decided, *trials)

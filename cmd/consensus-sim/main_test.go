@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -117,4 +119,46 @@ func TestRunJSONMode(t *testing.T) {
 	if err := run([]string{"-protocol", "failstop", "-n", "5", "-k", "2", "-json"}); err != nil {
 		t.Fatalf("json run: %v", err)
 	}
+}
+
+// TestRunTrialsDeterministicAcrossWorkers pins the -workers contract: the
+// aggregate report is byte-identical however the trials are fanned out
+// (trial tr always simulates with seed+tr).
+func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
+	out := func(workers string) string {
+		t.Helper()
+		return captureStdout(t, func() {
+			if err := run([]string{"-protocol", "failstop", "-n", "7", "-k", "3",
+				"-trials", "24", "-seed", "11", "-workers", workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := out("1")
+	if !strings.Contains(base, "trials=24") {
+		t.Fatalf("missing aggregate header:\n%s", base)
+	}
+	for _, w := range []string{"4", "16"} {
+		if got := out(w); got != base {
+			t.Errorf("-workers %s changed output:\n%s\n-- want --\n%s", w, got, base)
+		}
+	}
+}
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

@@ -8,6 +8,7 @@
 //	experiments -quick          # reduced scale (seconds, not minutes)
 //	experiments -markdown       # emit EXPERIMENTS.md-ready markdown
 //	experiments -trials 1000    # more trials per row
+//	experiments -workers 8      # trial workers per row (0 = GOMAXPROCS)
 //	experiments -metrics-json BENCH_ci.json   # archive a run-accounting snapshot
 //
 // With -metrics-json, every engine run and Monte-Carlo chain feeds one
@@ -44,6 +45,7 @@ func run(args []string) error {
 		quick       = fs.Bool("quick", false, "reduced system sizes and trial counts")
 		markdown    = fs.Bool("markdown", false, "emit markdown instead of aligned text")
 		trials      = fs.Int("trials", 0, "trials per table row (0 = default)")
+		workers     = fs.Int("workers", 0, "concurrent trial workers per table row (0 = GOMAXPROCS); the tables are identical for every value")
 		seed        = fs.Uint64("seed", 1, "base random seed")
 		outPath     = fs.String("out", "", "write output to this file instead of stdout")
 		metricsPath = fs.String("metrics-json", "", "write a key-sorted run-accounting snapshot (BENCH_*.json shape) to this file")
@@ -60,6 +62,7 @@ func run(args []string) error {
 		params.Trials = *trials
 	}
 	params.Seed = *seed
+	params.Workers = *workers
 
 	var reg *metrics.Registry
 	if *metricsPath != "" {

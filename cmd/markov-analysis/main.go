@@ -9,6 +9,11 @@
 //	markov-analysis -n 90 -k 20            # explicit k
 //	markov-analysis -n 100 -k 5 -malicious # Section 4.2 chain
 //	markov-analysis -n 90 -states          # include the per-state table
+//	markov-analysis -n 90 -mc 4000         # Monte-Carlo cross-check of E[T]
+//
+// With -mc > 0 a parallel ensemble of simulation runs (see internal/mc)
+// cross-checks the exact E[T] from the balanced state; -workers bounds the
+// fan-out and never changes the reported numbers.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"resilient/internal/markov"
+	"resilient/internal/mc"
 )
 
 func main() {
@@ -36,6 +42,9 @@ func run(args []string) error {
 		states    = fs.Bool("states", false, "print expected absorption time for every state")
 		tailN     = fs.Int("tail", 0, "print P[T > t] for t = 0..tail from the balanced state")
 		l         = fs.Float64("l", markov.DefaultL, "band parameter l for the collapsed bounds")
+		mcTrials  = fs.Int("mc", 0, "Monte-Carlo trials cross-checking E[T] from the balanced state (0 = analytic only)")
+		workers   = fs.Int("workers", 0, "concurrent ensemble workers (0 = GOMAXPROCS); results are identical for every value")
+		seed      = fs.Uint64("seed", 1, "ensemble base seed (trial t uses PCG(seed, t))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,10 +53,26 @@ func run(args []string) error {
 		*k = *n / 3
 	}
 
+	ens := ensembleConfig{trials: *mcTrials, workers: *workers, seed: *seed}
 	if *malicious {
-		return maliciousAnalysis(*n, *k, *forced, *l, *states, *tailN)
+		return maliciousAnalysis(*n, *k, *forced, *l, *states, *tailN, ens)
 	}
-	return failStopAnalysis(*n, *k, *l, *states, *tailN)
+	return failStopAnalysis(*n, *k, *l, *states, *tailN, ens)
+}
+
+// ensembleConfig carries the -mc/-workers/-seed Monte-Carlo cross-check
+// settings.
+type ensembleConfig struct {
+	trials  int
+	workers int
+	seed    uint64
+}
+
+func printEnsemble(e *mc.Ensemble, exact float64) {
+	fmt.Printf("  MC E[T] (%d trials):                %.4f ± %.4f (95%%), Δ from exact %.4f\n",
+		e.Trials, e.Mean, e.CI95, e.Mean-exact)
+	fmt.Printf("  MC phases p50/p90/p99:              %.1f / %.1f / %.1f (max %.0f)\n",
+		e.P50, e.P90, e.P99, e.Max)
 }
 
 func printTail(tail []float64) {
@@ -57,7 +82,7 @@ func printTail(tail []float64) {
 	}
 }
 
-func failStopAnalysis(n, k int, l float64, states bool, tailN int) error {
+func failStopAnalysis(n, k int, l float64, states bool, tailN int, ens ensembleConfig) error {
 	chain := markov.FailStop{N: n, K: k}
 	if err := chain.Validate(); err != nil {
 		return err
@@ -78,6 +103,16 @@ func failStopAnalysis(n, k int, l float64, states bool, tailN int) error {
 	fmt.Printf("  collapsed bound via (I-Q)^-1:       %.4f phases\n", viaMatrix)
 	fmt.Printf("  paper's headline (l^2 = 1.5): bound < 7 for every n -> %v\n",
 		markov.CollapsedBound(n, markov.DefaultL) < 7)
+	if ens.trials > 0 {
+		sim := &mc.FailStop{N: n, K: k}
+		e, err := sim.AbsorptionEnsemble(mc.EnsembleOptions{
+			Trials: ens.trials, Workers: ens.workers, Start: n / 2, Seed: ens.seed,
+		})
+		if err != nil {
+			return err
+		}
+		printEnsemble(e, times[n/2])
+	}
 	if states {
 		fmt.Println("  state   w_i      E[T]")
 		for i := 0; i <= n; i++ {
@@ -94,7 +129,7 @@ func failStopAnalysis(n, k int, l float64, states bool, tailN int) error {
 	return nil
 }
 
-func maliciousAnalysis(n, k int, forced bool, l float64, states bool, tailN int) error {
+func maliciousAnalysis(n, k int, forced bool, l float64, states bool, tailN int, ens ensembleConfig) error {
 	chain := markov.Malicious{N: n, K: k, Forced: forced}
 	if err := chain.Validate(); err != nil {
 		return err
@@ -111,6 +146,20 @@ func maliciousAnalysis(n, k int, forced bool, l float64, states bool, tailN int)
 	fmt.Printf("  exact E[T] from balanced state %d:  %.4f phases\n", correct/2, times[correct/2])
 	fmt.Printf("  paper bound 1/(2*Phi(l)):           %.4f phases\n", markov.MaliciousBound(lk))
 	fmt.Printf("  bound at requested l=%.4f:          %.4f phases\n", l, markov.MaliciousBound(l))
+	if ens.trials > 0 {
+		model := mc.Mixed
+		if forced {
+			model = mc.Forced
+		}
+		sim := &mc.Malicious{N: n, K: k, Model: model}
+		e, err := sim.AbsorptionEnsemble(mc.EnsembleOptions{
+			Trials: ens.trials, Workers: ens.workers, Start: correct / 2, Seed: ens.seed,
+		})
+		if err != nil {
+			return err
+		}
+		printEnsemble(e, times[correct/2])
+	}
 	if states {
 		fmt.Println("  state   w_i      E[T]")
 		for i := 0; i <= correct; i++ {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunFailStop(t *testing.T) {
 	if err := run([]string{"-n", "30", "-states", "-tail", "10"}); err != nil {
@@ -24,4 +29,53 @@ func TestRunRejectsInvalid(t *testing.T) {
 	if err := run([]string{"-n", "10", "-k", "5", "-malicious"}); err == nil {
 		t.Fatal("2k=n accepted for malicious chain")
 	}
+}
+
+func TestRunMonteCarloCrossCheck(t *testing.T) {
+	if err := run([]string{"-n", "30", "-mc", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-malicious", "-mc", "50", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMonteCarloDeterministicAcrossWorkers checks the CLI contract that
+// -workers never changes the printed report.
+func TestRunMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	out := func(workers string) string {
+		t.Helper()
+		return captureStdout(t, func() {
+			if err := run([]string{"-n", "30", "-mc", "200", "-seed", "7", "-workers", workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := out("1")
+	if !strings.Contains(base, "MC E[T]") {
+		t.Fatalf("missing MC line:\n%s", base)
+	}
+	for _, w := range []string{"4", "16"} {
+		if got := out(w); got != base {
+			t.Errorf("-workers %s changed output:\n%s\n-- want --\n%s", w, got, base)
+		}
+	}
+}
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }

@@ -13,6 +13,7 @@ import (
 	"resilient/internal/quorum"
 	"resilient/internal/runtime"
 	"resilient/internal/stats"
+	"resilient/internal/sweep"
 )
 
 // E1 reproduces the Section 4.1 fail-stop analysis.
@@ -46,14 +47,16 @@ func E1(p Params) ([]*Table, error) {
 			return nil, fmt.Errorf("E1a n=%d: %w", n, err)
 		}
 		mcChain := mc.FailStop{N: n, K: k, Metrics: p.Metrics}
-		var acc stats.Accumulator
-		for tr := 0; tr < p.trials(); tr++ {
+		phases, err := sweep.Run(p.trials(), p.workers(), func(tr int) (int, error) {
 			rng := rand.New(rand.NewPCG(p.seedFor(row, tr), 7))
-			phases, err := mcChain.AbsorptionRun(n/2, rng, 0)
-			if err != nil {
-				return nil, fmt.Errorf("E1a n=%d trial %d: %w", n, tr, err)
-			}
-			acc.Add(float64(phases))
+			return mcChain.AbsorptionRun(n/2, rng, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E1a n=%d: %w", n, err)
+		}
+		var acc stats.Accumulator
+		for _, ph := range phases {
+			acc.Add(float64(ph))
 		}
 		bound := markov.CollapsedBound(n, markov.DefaultL)
 		tail, err := chain.TailFromBalanced(7)
@@ -86,14 +89,17 @@ func E1(p Params) ([]*Table, error) {
 	for row, n := range sizes {
 		k := quorum.MaxFaults(n, quorum.Malicious) // 3k < n for reachability
 		mcChain := mc.FailStop{N: n, K: k, Metrics: p.Metrics}
-		var mcAcc stats.Accumulator
-		for tr := 0; tr < p.trials(); tr++ {
+		mcPhases, err := sweep.Run(p.trials(), p.workers(), func(tr int) (int, error) {
 			rng := rand.New(rand.NewPCG(p.seedFor(100+row, tr), 7))
 			phases, _, err := mcChain.DecisionRun(n/2, rng, 0)
-			if err != nil {
-				return nil, fmt.Errorf("E1b n=%d trial %d: %w", n, tr, err)
-			}
-			mcAcc.Add(float64(phases))
+			return phases, err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E1b n=%d: %w", n, err)
+		}
+		var mcAcc stats.Accumulator
+		for _, ph := range mcPhases {
+			mcAcc.Add(float64(ph))
 		}
 		engCell, agreeCell := "-", "-"
 		if engineSizes[n] {
@@ -101,17 +107,27 @@ func E1(p Params) ([]*Table, error) {
 			if engTrials < 5 {
 				engTrials = 5
 			}
-			var engAcc stats.Accumulator
-			agree := 0
-			for tr := 0; tr < engTrials; tr++ {
+			type engTrial struct {
+				agree  bool
+				phases float64
+			}
+			engResults, err := sweep.Run(engTrials, p.workers(), func(tr int) (engTrial, error) {
 				res, err := runEngineMajority(n, k, p.seedFor(200+row, tr), p.Metrics)
 				if err != nil {
-					return nil, fmt.Errorf("E1b engine n=%d trial %d: %w", n, tr, err)
+					return engTrial{}, fmt.Errorf("E1b engine n=%d trial %d: %w", n, tr, err)
 				}
-				if res.Agreement {
+				return engTrial{agree: res.Agreement, phases: float64(maxDecisionPhase(res))}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var engAcc stats.Accumulator
+			agree := 0
+			for _, r := range engResults {
+				if r.agree {
 					agree++
 				}
-				engAcc.Add(float64(maxDecisionPhase(res)))
+				engAcc.Add(r.phases)
 			}
 			engCell = fmt.Sprintf("%s ± %s", f3(engAcc.Mean()), f3(engAcc.CI95()))
 			agreeCell = pct(float64(agree) / float64(engTrials))

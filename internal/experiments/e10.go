@@ -8,6 +8,7 @@ import (
 	"resilient/internal/faults"
 	"resilient/internal/msg"
 	"resilient/internal/runtime"
+	"resilient/internal/sweep"
 )
 
 // E10 exercises the Section 5 discussion of bivalence interpretations: the
@@ -52,9 +53,11 @@ func E10(p Params) ([]*Table, error) {
 			// K = 0: wait for everyone; the graph is complete.
 			k = 0
 		}
-		term, agree := 0, 0
-		decision := "-"
-		for tr := 0; tr < trials; tr++ {
+		type e10Trial struct {
+			term, agree bool
+			decision    string
+		}
+		results, err := sweep.Run(trials, p.workers(), func(tr int) (e10Trial, error) {
 			res, err := runtime.Run(runtime.Config{
 				N: sc.n, K: k, Inputs: sc.inputs,
 				Spawn:   spawn,
@@ -62,19 +65,34 @@ func E10(p Params) ([]*Table, error) {
 				Seed:    p.seedFor(row, tr),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("E10 row %d trial %d: %w", row, tr, err)
+				return e10Trial{}, fmt.Errorf("E10 row %d trial %d: %w", row, tr, err)
 			}
-			if res.AllDecided && res.Stalled == runtime.NotStalled {
-				term++
-			}
-			if res.Agreement {
-				agree++
+			out := e10Trial{
+				term:  res.AllDecided && res.Stalled == runtime.NotStalled,
+				agree: res.Agreement,
 			}
 			if res.DecidedCount() > 0 {
-				decision = fmt.Sprintf("%d", res.Value)
-				if sc.want != "" && decision != sc.want {
-					decision += " (want " + sc.want + ") UNEXPECTED"
+				out.decision = fmt.Sprintf("%d", res.Value)
+				if sc.want != "" && out.decision != sc.want {
+					out.decision += " (want " + sc.want + ") UNEXPECTED"
 				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		term, agree := 0, 0
+		decision := "-"
+		for _, r := range results {
+			if r.term {
+				term++
+			}
+			if r.agree {
+				agree++
+			}
+			if r.decision != "" {
+				decision = r.decision
 			}
 		}
 		t.AddRow(

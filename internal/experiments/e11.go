@@ -12,6 +12,7 @@ import (
 	"resilient/internal/runtime"
 	"resilient/internal/sched"
 	"resilient/internal/stats"
+	"resilient/internal/sweep"
 )
 
 // E11 is the ablation study (not a table from the paper): it probes the
@@ -52,9 +53,11 @@ func E11(p Params) ([]*Table, error) {
 	}
 	for row, sc := range schedulers {
 		trials := p.trials()
-		var phases stats.Accumulator
-		term, agree := 0, 0
-		for tr := 0; tr < trials; tr++ {
+		type e11Trial struct {
+			term, agree bool
+			phases      float64
+		}
+		results, err := sweep.Run(trials, p.workers(), func(tr int) (e11Trial, error) {
 			seed := p.seedFor(600+row, tr)
 			res, err := runtime.Run(runtime.Config{
 				N: n, K: k, Inputs: randomInputs(n, seed),
@@ -65,15 +68,27 @@ func E11(p Params) ([]*Table, error) {
 				Seed:      seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("E11a %s trial %d: %w", sc.name, tr, err)
+				return e11Trial{}, fmt.Errorf("E11a %s trial %d: %w", sc.name, tr, err)
 			}
-			if res.AllDecided && res.Stalled == runtime.NotStalled {
+			return e11Trial{
+				term:   res.AllDecided && res.Stalled == runtime.NotStalled,
+				agree:  res.Agreement,
+				phases: float64(maxDecisionPhase(res)),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var phases stats.Accumulator
+		term, agree := 0, 0
+		for _, r := range results {
+			if r.term {
 				term++
 			}
-			if res.Agreement {
+			if r.agree {
 				agree++
 			}
-			phases.Add(float64(maxDecisionPhase(res)))
+			phases.Add(r.phases)
 		}
 		ta.AddRow(sc.name,
 			pct(float64(term)/float64(trials)),
@@ -101,14 +116,20 @@ func E11(p Params) ([]*Table, error) {
 	}
 	for row, start := range starts {
 		trials := p.trials() * 4
-		ones := 0
-		rng := rand.New(rand.NewPCG(p.seedFor(700+row, 0), 5))
-		for tr := 0; tr < trials; tr++ {
+		decisions, err := sweep.Run(trials, p.workers(), func(tr int) (bool, error) {
+			rng := rand.New(rand.NewPCG(p.seedFor(700+row, tr), 5))
 			_, decided1, err := sim.DecisionRun(start, rng, 0)
 			if err != nil {
-				return nil, fmt.Errorf("E11b start %d: %w", start, err)
+				return false, fmt.Errorf("E11b start %d trial %d: %w", start, tr, err)
 			}
-			if decided1 {
+			return decided1, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ones := 0
+		for _, d := range decisions {
+			if d {
 				ones++
 			}
 		}

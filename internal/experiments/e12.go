@@ -8,6 +8,7 @@ import (
 	"resilient/internal/malicious"
 	"resilient/internal/msg"
 	"resilient/internal/runtime"
+	"resilient/internal/sweep"
 )
 
 // E12 is the authentication ablation, reproducing the Section 3.1 remark:
@@ -38,7 +39,9 @@ func E12(p Params) ([]*Table, error) {
 		}
 		return malicious.New(ctx.Config, ctx.Sink)
 	}
-	for _, forgery := range []bool{false, true} {
+	configs := []bool{false, true}
+	results, err := sweep.Run(len(configs), p.workers(), func(i int) (*runtime.Result, error) {
+		forgery := configs[i]
 		res, err := runtime.Run(runtime.Config{
 			N: n, K: k,
 			// Balanced honest inputs: without interference the system could
@@ -53,6 +56,13 @@ func E12(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E12 forgery=%v: %w", forgery, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, forgery := range configs {
+		res := results[i]
 		label := "authenticated (model requirement)"
 		if forgery {
 			label = "forgeable senders"

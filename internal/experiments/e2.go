@@ -7,6 +7,7 @@ import (
 	"resilient/internal/markov"
 	"resilient/internal/mc"
 	"resilient/internal/stats"
+	"resilient/internal/sweep"
 )
 
 // E2 reproduces the Section 4.2 malicious-case analysis.
@@ -44,11 +45,11 @@ func E2(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E2a l=%v: %w", l, err)
 		}
-		mcF, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 300+row)
+		mcF, err := e2MC(&mc.Malicious{N: n, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 300+row)
 		if err != nil {
 			return nil, err
 		}
-		mcM, err := e2MC(mc.Malicious{N: n, K: k, Model: mc.Mixed, Metrics: p.Metrics}, p, 400+row)
+		mcM, err := e2MC(&mc.Malicious{N: n, K: k, Model: mc.Mixed, Metrics: p.Metrics}, p, 400+row)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +79,7 @@ func E2(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E2b n=%d: %w", nn, err)
 		}
-		est, err := e2MC(mc.Malicious{N: nn, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 500+row)
+		est, err := e2MC(&mc.Malicious{N: nn, K: k, Model: mc.Forced, Metrics: p.Metrics}, p, 500+row)
 		if err != nil {
 			return nil, err
 		}
@@ -89,15 +90,17 @@ func E2(p Params) ([]*Table, error) {
 	return []*Table{ta, tb}, nil
 }
 
-func e2MC(chain mc.Malicious, p Params, rowSeed int) (*stats.Accumulator, error) {
-	var acc stats.Accumulator
-	for tr := 0; tr < p.trials(); tr++ {
+func e2MC(chain *mc.Malicious, p Params, rowSeed int) (*stats.Accumulator, error) {
+	phases, err := sweep.Run(p.trials(), p.workers(), func(tr int) (int, error) {
 		rng := rand.New(rand.NewPCG(p.seedFor(rowSeed, tr), 11))
-		phases, err := chain.AbsorptionRun(chain.Correct()/2, rng, 0)
-		if err != nil {
-			return nil, fmt.Errorf("E2 MC n=%d k=%d trial %d: %w", chain.N, chain.K, tr, err)
-		}
-		acc.Add(float64(phases))
+		return chain.AbsorptionRun(chain.Correct()/2, rng, 0)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E2 MC n=%d k=%d: %w", chain.N, chain.K, err)
+	}
+	var acc stats.Accumulator
+	for _, ph := range phases {
+		acc.Add(float64(ph))
 	}
 	return &acc, nil
 }

@@ -46,7 +46,7 @@ func E3(p Params) ([]*Table, error) {
 			term, agree, valid bool
 			phases, msgs       float64
 		}
-		results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+		results, err := sweep.Run(trials, p.workers(), func(tr int) (trial, error) {
 			seed := p.seedFor(row, tr)
 			plan := crashPlan(cfg.pattern, cfg.n, cfg.k, seed)
 			inputs := randomInputs(cfg.n, seed)

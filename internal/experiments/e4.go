@@ -85,7 +85,7 @@ func E4(p Params) ([]*Table, error) {
 				term, agree, valid bool
 				phases             float64
 			}
-			results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+			results, err := sweep.Run(trials, p.workers(), func(tr int) (trial, error) {
 				seed := p.seedFor(row, tr)
 				inputs := randomInputs(n, seed)
 				res, err := runtime.Run(runtime.Config{

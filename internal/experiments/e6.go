@@ -62,7 +62,7 @@ func E6(p Params) ([]*Table, error) {
 				one    bool
 				phases int
 			}
-			results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+			results, err := sweep.Run(trials, p.workers(), func(tr int) (trial, error) {
 				seed := p.seedFor(pi*100+m, tr)
 				inputs := make([]msg.Value, pr.n)
 				for i := 0; i < m; i++ {

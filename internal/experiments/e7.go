@@ -33,7 +33,7 @@ func E7(p Params) ([]*Table, error) {
 	}
 	for row, cfg := range configs {
 		trials := p.trials()
-		spreads, err := sweep.Run(trials, 0, func(tr int) (int, error) {
+		spreads, err := sweep.Run(trials, p.workers(), func(tr int) (int, error) {
 			seed := p.seedFor(row, tr)
 			inputs := randomInputs(cfg.n, seed)
 			byz := make(map[msg.ID]bool, cfg.k)

@@ -39,7 +39,7 @@ func E8(p Params) ([]*Table, error) {
 		type trial struct {
 			rounds, phases int
 		}
-		results, err := sweep.Run(trials, 0, func(tr int) (trial, error) {
+		results, err := sweep.Run(trials, p.workers(), func(tr int) (trial, error) {
 			seed := p.seedFor(row, tr)
 			inputs := randomInputs(n, seed)
 			resB, err := runtime.Run(runtime.Config{

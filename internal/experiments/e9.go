@@ -9,6 +9,7 @@ import (
 	"resilient/internal/quorum"
 	"resilient/internal/runtime"
 	"resilient/internal/stats"
+	"resilient/internal/sweep"
 )
 
 // E9 measures the price of Byzantine tolerance in messages: Figure 1 sends
@@ -30,8 +31,11 @@ func E9(p Params) ([]*Table, error) {
 	for row, n := range sizes {
 		k := quorum.MaxFaults(n, quorum.Malicious)
 		trials := max(p.trials()/4, 10)
-		var m1, m2, r1, r2 stats.Accumulator
-		for tr := 0; tr < trials; tr++ {
+		type e9Trial struct {
+			msgs1, msgs2   float64
+			ratio1, ratio2 float64
+		}
+		results, err := sweep.Run(trials, p.workers(), func(tr int) (e9Trial, error) {
 			seed := p.seedFor(row, tr)
 			inputs := randomInputs(n, seed)
 			resA, err := runtime.Run(runtime.Config{
@@ -42,7 +46,7 @@ func E9(p Params) ([]*Table, error) {
 				Seed: seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("E9 fig1 n=%d: %w", n, err)
+				return e9Trial{}, fmt.Errorf("E9 fig1 n=%d: %w", n, err)
 			}
 			resB, err := runtime.Run(runtime.Config{
 				N: n, K: k, Inputs: inputs,
@@ -52,14 +56,26 @@ func E9(p Params) ([]*Table, error) {
 				Seed: seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("E9 fig2 n=%d: %w", n, err)
+				return e9Trial{}, fmt.Errorf("E9 fig2 n=%d: %w", n, err)
 			}
 			ph1 := float64(max(maxDecisionPhase(resA), 1))
 			ph2 := float64(max(maxDecisionPhase(resB), 1))
-			m1.Add(float64(resA.MessagesSent))
-			m2.Add(float64(resB.MessagesSent))
-			r1.Add(float64(resA.MessagesSent) / (ph1 * float64(n) * float64(n)))
-			r2.Add(float64(resB.MessagesSent) / (ph2 * float64(n) * float64(n) * float64(n)))
+			return e9Trial{
+				msgs1:  float64(resA.MessagesSent),
+				msgs2:  float64(resB.MessagesSent),
+				ratio1: float64(resA.MessagesSent) / (ph1 * float64(n) * float64(n)),
+				ratio2: float64(resB.MessagesSent) / (ph2 * float64(n) * float64(n) * float64(n)),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var m1, m2, r1, r2 stats.Accumulator
+		for _, res := range results {
+			m1.Add(res.msgs1)
+			m2.Add(res.msgs2)
+			r1.Add(res.ratio1)
+			r2.Add(res.ratio2)
 		}
 		ratio := "-"
 		if m1.Mean() > 0 {

@@ -31,6 +31,11 @@ type Params struct {
 	// Monte-Carlo chains under "mc.". cmd/experiments snapshots it to the
 	// -metrics-json file.
 	Metrics *metrics.Registry
+	// Workers bounds the number of concurrent trial workers per table row
+	// (0 = GOMAXPROCS). Every trial is seeded per (row, trial) index and
+	// results are merged in trial order, so the tables are byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultParams returns the full-scale parameters used to produce
@@ -50,6 +55,9 @@ func (p Params) trials() int {
 	}
 	return p.Trials
 }
+
+// workers is the sweep worker bound (0 lets sweep.Run use GOMAXPROCS).
+func (p Params) workers() int { return p.Workers }
 
 // seedFor derives a per-(row, trial) seed.
 func (p Params) seedFor(row, trial int) uint64 {

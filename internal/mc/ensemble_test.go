@@ -1,0 +1,185 @@
+package mc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"resilient/internal/metrics"
+)
+
+// TestEnsembleDeterministicAcrossWorkers is the core ensemble guarantee:
+// merged results are bit-identical for workers = 1, 4 and 16, and across
+// repeated runs at the same worker count.
+func TestEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	opts := EnsembleOptions{Trials: 64, Workers: 1, Start: 45, Seed: 9}
+	fs := &FailStop{N: 90, K: 30}
+	base, err := fs.AbsorptionEnsemble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trials != 64 || len(base.Phases) != 64 {
+		t.Fatalf("base ensemble %+v", base)
+	}
+	for _, w := range []int{1, 4, 16} {
+		o := opts
+		o.Workers = w
+		for rep := 0; rep < 2; rep++ {
+			got, err := fs.AbsorptionEnsemble(o)
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", w, rep, err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("workers=%d rep=%d diverged:\ngot  %+v\nwant %+v", w, rep, got, base)
+			}
+		}
+	}
+}
+
+func TestDecisionEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	fs := &FailStop{N: 30, K: 9}
+	opts := EnsembleOptions{Trials: 48, Workers: 1, Start: 15, Seed: 5}
+	base, err := fs.DecisionEnsemble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mean < 1 {
+		t.Fatalf("decision ensemble mean %v < 1", base.Mean)
+	}
+	for _, w := range []int{4, 16} {
+		o := opts
+		o.Workers = w
+		got, err := fs.DecisionEnsemble(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverged:\ngot  %+v\nwant %+v", w, got, base)
+		}
+	}
+}
+
+func TestMaliciousEnsemblesDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, model := range []AdversaryModel{Mixed, Forced} {
+		mal := &Malicious{N: 100, K: 5, Model: model}
+		opts := EnsembleOptions{Trials: 32, Workers: 1, Start: mal.Correct() / 2, Seed: 3}
+		base, err := mal.AbsorptionEnsemble(opts)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		opts.Workers = 8
+		got, err := mal.AbsorptionEnsemble(opts)
+		if err != nil {
+			t.Fatalf("%v workers=8: %v", model, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("%v diverged across workers", model)
+		}
+
+		dec := &Malicious{N: 40, K: 4, Model: model}
+		dopts := EnsembleOptions{Trials: 16, Workers: 1, Start: 18, Seed: 7}
+		dbase, err := dec.DecisionEnsemble(dopts)
+		if err != nil {
+			t.Fatalf("%v decision: %v", model, err)
+		}
+		dopts.Workers = 8
+		dgot, err := dec.DecisionEnsemble(dopts)
+		if err != nil {
+			t.Fatalf("%v decision workers=8: %v", model, err)
+		}
+		if !reflect.DeepEqual(dgot, dbase) {
+			t.Fatalf("%v decision ensemble diverged across workers", model)
+		}
+	}
+}
+
+// TestEnsembleMatchesSequentialRuns pins the seed derivation contract:
+// trial t of an ensemble walks exactly the chain that a sequential
+// AbsorptionRun with rand.NewPCG(seed, t) walks.
+func TestEnsembleMatchesSequentialRuns(t *testing.T) {
+	t.Parallel()
+	fs := &FailStop{N: 60, K: 20}
+	opts := EnsembleOptions{Trials: 20, Workers: 8, Start: 30, Seed: 42}
+	e, err := fs.AbsorptionEnsemble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < opts.Trials; tr++ {
+		want, err := fs.AbsorptionRun(opts.Start, opts.trialRNG(tr), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Phases[tr] != want {
+			t.Fatalf("trial %d: ensemble %d phases, sequential %d", tr, e.Phases[tr], want)
+		}
+	}
+}
+
+// TestEnsembleFailsFastOnError covers the mid-ensemble error path: with
+// MaxPhases=1 from an unabsorbed start every trial errors, and the ensemble
+// must surface the first error rather than hang or return partial results.
+func TestEnsembleFailsFastOnError(t *testing.T) {
+	t.Parallel()
+	fs := &FailStop{N: 90, K: 30}
+	for _, w := range []int{1, 8} {
+		e, err := fs.AbsorptionEnsemble(EnsembleOptions{
+			Trials: 64, Workers: w, Start: 45, Seed: 1, MaxPhases: 1,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed, got %+v", w, e)
+		}
+		if !strings.Contains(err.Error(), "no absorption within 1") {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+		if e != nil {
+			t.Fatalf("workers=%d: partial ensemble returned alongside error", w)
+		}
+	}
+}
+
+func TestEnsembleRejectsBadOptions(t *testing.T) {
+	fs := &FailStop{N: 90, K: 30}
+	if _, err := fs.AbsorptionEnsemble(EnsembleOptions{Trials: 0}); err == nil {
+		t.Error("Trials=0 accepted")
+	}
+	bad := &FailStop{N: 0, K: 0}
+	if _, err := bad.AbsorptionEnsemble(EnsembleOptions{Trials: 4}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+	mal := &Malicious{N: 10, K: 5, Model: Mixed}
+	if _, err := mal.AbsorptionEnsemble(EnsembleOptions{Trials: 4}); err == nil {
+		t.Error("invalid malicious chain accepted")
+	}
+}
+
+// TestEnsembleMetricsAggregation checks that striped-counter accounting is
+// exact after a concurrent ensemble: absorption_runs must equal Trials and
+// the phase histogram must carry one observation per trial.
+func TestEnsembleMetricsAggregation(t *testing.T) {
+	t.Parallel()
+	reg := metrics.NewRegistry()
+	fs := &FailStop{N: 60, K: 20, Metrics: reg}
+	const trials = 40
+	e, err := fs.AbsorptionEnsemble(EnsembleOptions{Trials: trials, Workers: 8, Start: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mc.failstop.absorption_runs"]; got != trials {
+		t.Errorf("absorption_runs = %d, want %d", got, trials)
+	}
+	sumPhases := 0
+	for _, p := range e.Phases {
+		sumPhases += p
+	}
+	if got := snap.Counters["mc.failstop.steps"]; got != int64(sumPhases) {
+		t.Errorf("steps = %d, want %d", got, sumPhases)
+	}
+	h := snap.Histograms["mc.failstop.absorption_phases"]
+	if h.Count != trials {
+		t.Errorf("histogram count = %d, want %d", h.Count, trials)
+	}
+}

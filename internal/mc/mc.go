@@ -29,6 +29,7 @@ package mc
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"resilient/internal/dist"
 	"resilient/internal/markov"
@@ -47,12 +48,12 @@ type chainMetrics struct {
 	decisionPhases   *metrics.Histogram
 }
 
-func newChainMetrics(reg *metrics.Registry, chain string) chainMetrics {
+func newChainMetrics(reg *metrics.Registry, chain string) *chainMetrics {
 	if reg == nil {
-		return chainMetrics{}
+		return &chainMetrics{}
 	}
 	m := reg.Scoped("mc." + chain + ".")
-	return chainMetrics{
+	return &chainMetrics{
 		steps:            m.Counter("steps"),
 		draws:            m.Counter("hg_draws"),
 		absorptionRuns:   m.Counter("absorption_runs"),
@@ -100,16 +101,37 @@ type StepOutcome struct {
 // FailStop simulates the Section 4.1 chain: n processes, nobody dies, each
 // phase every process adopts the majority of a uniform (n-k)-view and
 // decides on a strictly-more-than-(n+k)/2 supermajority.
+//
+// The chain caches its metric handles after the first run, so methods take
+// pointer receivers; use one chain value per configuration and do not
+// mutate Metrics after the first call. All methods are safe for concurrent
+// use (the ensemble entry points fan a single chain value across workers).
 type FailStop struct {
 	N, K int
 	// Metrics, when non-nil, receives chain accounting under the
 	// "mc.failstop." prefix (steps, hypergeometric draws, absorption and
 	// decision phase histograms).
 	Metrics *metrics.Registry
+
+	// met caches the resolved metric handles so the per-phase hot path does
+	// not re-enter the registry (mutex + map lookups) on every Step. Racing
+	// initializations store equivalent values, so no extra ordering is
+	// needed.
+	met atomic.Pointer[chainMetrics]
+}
+
+// handles returns the cached metric handles, resolving them on first use.
+func (c *FailStop) handles() *chainMetrics {
+	if m := c.met.Load(); m != nil {
+		return m
+	}
+	m := newChainMetrics(c.Metrics, "failstop")
+	c.met.Store(m)
+	return m
 }
 
 // Validate checks parameters.
-func (c FailStop) Validate() error {
+func (c *FailStop) Validate() error {
 	if c.N < 1 || c.K < 0 || c.K >= c.N {
 		return fmt.Errorf("mc: invalid fail-stop chain n=%d k=%d", c.N, c.K)
 	}
@@ -120,16 +142,16 @@ func (c FailStop) Validate() error {
 // in the absorbing region of Section 4.1: i < (n-k)/2 guarantees collapse to
 // all-zeros in one phase, i > (n+k)/2 guarantees collapse to all-ones.
 // (With k = n/3 these are the paper's regions [0, n/3) and (2n/3, n].)
-func (c FailStop) Absorbed(i int) bool {
+func (c *FailStop) Absorbed(i int) bool {
 	return 2*i < c.N-c.K || 2*i > c.N+c.K
 }
 
 // Step simulates one phase from state ones and returns the outcome.
-func (c FailStop) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
-	return c.step(ones, rng, newChainMetrics(c.Metrics, "failstop"))
+func (c *FailStop) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
+	return c.step(ones, rng, c.handles())
 }
 
-func (c FailStop) step(ones int, rng *rand.Rand, met chainMetrics) (StepOutcome, error) {
+func (c *FailStop) step(ones int, rng *rand.Rand, met *chainMetrics) (StepOutcome, error) {
 	draw := quorum.WaitCount(c.N, c.K)
 	sampler, err := dist.NewHGSampler(dist.Hypergeometric{Pop: c.N, Success: ones, Draw: draw})
 	if err != nil {
@@ -157,7 +179,7 @@ func (c FailStop) step(ones int, rng *rand.Rand, met chainMetrics) (StepOutcome,
 // AbsorptionRun simulates phases from the given start state until the chain
 // enters the absorbing region, returning the number of phases taken.
 // maxPhases caps the run (0 = 10000).
-func (c FailStop) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, error) {
+func (c *FailStop) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
@@ -167,7 +189,7 @@ func (c FailStop) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, 
 	if maxPhases <= 0 {
 		maxPhases = 10000
 	}
-	met := newChainMetrics(c.Metrics, "failstop")
+	met := c.handles()
 	state := start
 	for t := 0; t < maxPhases; t++ {
 		if c.Absorbed(state) {
@@ -191,7 +213,7 @@ func (c FailStop) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, 
 // strictly-more-than-(n+k)/2 supermajority. It returns the phase at which
 // the last process decided (phases are counted from 1) and the common
 // decision. It requires k < n/3 so the decision threshold is reachable.
-func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases int, decidedOnes bool, err error) {
+func (c *FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases int, decidedOnes bool, err error) {
 	if err := c.Validate(); err != nil {
 		return 0, false, err
 	}
@@ -204,7 +226,7 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 	if maxPhases <= 0 {
 		maxPhases = 100000
 	}
-	met := newChainMetrics(c.Metrics, "failstop")
+	met := c.handles()
 	draw := quorum.WaitCount(c.N, c.K)
 	values := make([]bool, c.N) // true = 1
 	for p := 0; p < start; p++ {
@@ -260,16 +282,33 @@ func (c FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases 
 
 // Malicious simulates the Section 4.2 chain: n-k correct processes plus k
 // balancing adversaries.
+//
+// Like FailStop, the chain caches its metric handles after the first run:
+// use one chain value per configuration, do not mutate Metrics after the
+// first call, and prefer pointer passing.
 type Malicious struct {
 	N, K  int
 	Model AdversaryModel
 	// Metrics, when non-nil, receives chain accounting under the
 	// "mc.malicious." prefix.
 	Metrics *metrics.Registry
+
+	// met caches the resolved metric handles; see FailStop.met.
+	met atomic.Pointer[chainMetrics]
+}
+
+// handles returns the cached metric handles, resolving them on first use.
+func (c *Malicious) handles() *chainMetrics {
+	if m := c.met.Load(); m != nil {
+		return m
+	}
+	m := newChainMetrics(c.Metrics, "malicious")
+	c.met.Store(m)
+	return m
 }
 
 // Validate checks parameters.
-func (c Malicious) Validate() error {
+func (c *Malicious) Validate() error {
 	if c.N < 1 || c.K < 0 || 2*c.K >= c.N {
 		return fmt.Errorf("mc: invalid malicious chain n=%d k=%d", c.N, c.K)
 	}
@@ -280,20 +319,20 @@ func (c Malicious) Validate() error {
 }
 
 // Correct returns the number of correct processes, n-k.
-func (c Malicious) Correct() int { return c.N - c.K }
+func (c *Malicious) Correct() int { return c.N - c.K }
 
 // Absorbed reports whether state i (correct processes holding 1) is in the
 // paper's absorbing region: i < (n-3k)/2 or i > (n+k)/2 (Section 4.2).
-func (c Malicious) Absorbed(i int) bool {
+func (c *Malicious) Absorbed(i int) bool {
 	return 2*i < c.N-3*c.K || 2*i > c.N+c.K
 }
 
 // Step simulates one phase from state ones (correct processes holding 1).
-func (c Malicious) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
-	return c.step(ones, rng, newChainMetrics(c.Metrics, "malicious"))
+func (c *Malicious) Step(ones int, rng *rand.Rand) (StepOutcome, error) {
+	return c.step(ones, rng, c.handles())
 }
 
-func (c Malicious) step(ones int, rng *rand.Rand, met chainMetrics) (StepOutcome, error) {
+func (c *Malicious) step(ones int, rng *rand.Rand, met *chainMetrics) (StepOutcome, error) {
 	correct := c.Correct()
 	draw := quorum.WaitCount(c.N, c.K)
 	views, err := c.viewSamplers(ones)
@@ -337,7 +376,7 @@ func (v *viewSampler) sample(rng *rand.Rand) int {
 }
 
 // viewSamplers builds the per-view sampler for the given state.
-func (c Malicious) viewSamplers(ones int) (*viewSampler, error) {
+func (c *Malicious) viewSamplers(ones int) (*viewSampler, error) {
 	correct := c.Correct()
 	draw := quorum.WaitCount(c.N, c.K)
 	forced := c.Model == Forced
@@ -367,7 +406,7 @@ func (c Malicious) viewSamplers(ones int) (*viewSampler, error) {
 
 // AbsorptionRun simulates phases until the chain enters the absorbing
 // region, returning the number of phases taken.
-func (c Malicious) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, error) {
+func (c *Malicious) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
@@ -377,7 +416,7 @@ func (c Malicious) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int,
 	if maxPhases <= 0 {
 		maxPhases = 10000
 	}
-	met := newChainMetrics(c.Metrics, "malicious")
+	met := c.handles()
 	state := start
 	for t := 0; t < maxPhases; t++ {
 		if c.Absorbed(state) {
@@ -400,7 +439,7 @@ func (c Malicious) AbsorptionRun(start int, rng *rand.Rand, maxPhases int) (int,
 // decided (counted from 1) and the common decision. It requires a
 // configuration in which the decision threshold is reachable
 // (n - k > (n+k)/2, i.e. 3k < n).
-func (c Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases int, decidedOnes bool, err error) {
+func (c *Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases int, decidedOnes bool, err error) {
 	if err := c.Validate(); err != nil {
 		return 0, false, err
 	}
@@ -414,7 +453,7 @@ func (c Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases
 	if maxPhases <= 0 {
 		maxPhases = 100000
 	}
-	met := newChainMetrics(c.Metrics, "malicious")
+	met := c.handles()
 	draw := quorum.WaitCount(c.N, c.K)
 	values := make([]bool, correct)
 	for p := 0; p < start; p++ {

@@ -10,10 +10,10 @@ import (
 func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
 
 func TestFailStopValidate(t *testing.T) {
-	if (FailStop{N: 9, K: 3}).Validate() != nil {
+	if (&FailStop{N: 9, K: 3}).Validate() != nil {
 		t.Error("valid chain rejected")
 	}
-	for _, c := range []FailStop{{N: 0, K: 0}, {N: 5, K: 5}, {N: 5, K: -1}} {
+	for _, c := range []*FailStop{{N: 0, K: 0}, {N: 5, K: 5}, {N: 5, K: -1}} {
 		if c.Validate() == nil {
 			t.Errorf("%+v accepted", c)
 		}
@@ -130,13 +130,13 @@ func TestDecisionRunRequiresThreeKLessN(t *testing.T) {
 }
 
 func TestMaliciousValidate(t *testing.T) {
-	if (Malicious{N: 10, K: 2, Model: Mixed}).Validate() != nil {
+	if (&Malicious{N: 10, K: 2, Model: Mixed}).Validate() != nil {
 		t.Error("valid chain rejected")
 	}
-	if (Malicious{N: 10, K: 5, Model: Mixed}).Validate() == nil {
+	if (&Malicious{N: 10, K: 5, Model: Mixed}).Validate() == nil {
 		t.Error("2k = n accepted")
 	}
-	if (Malicious{N: 10, K: 2}).Validate() == nil {
+	if (&Malicious{N: 10, K: 2}).Validate() == nil {
 		t.Error("missing model accepted")
 	}
 }

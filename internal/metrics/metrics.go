@@ -7,9 +7,12 @@
 // The design mirrors how trace.Nop makes tracing free: every handle is
 // nil-safe, so an engine holds a *Counter (or *Histogram) obtained once at
 // run start and calls Add/Observe unconditionally -- on a nil handle those
-// are no-ops that neither allocate nor synchronize. Counters and gauges are
-// atomics; histograms are mutex-guarded (observations are rare relative to
-// counter bumps: one per run or per phase, not one per message).
+// are no-ops that neither allocate nor synchronize. Registry counters are
+// striped over cache-line-padded cells summed on read (see striped.go), so
+// concurrent trial workers bumping the same counter do not serialize on one
+// atomic; gauges are single atomics and histograms are mutex-guarded
+// (observations are rare relative to counter bumps: one per run or per
+// phase, not one per message).
 //
 // Snapshot() returns a plain struct whose JSON encoding is byte-stable:
 // encoding/json sorts map keys, bucket bounds render through strconv with
@@ -75,7 +78,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer root.mu.Unlock()
 	c, ok := root.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{cells: make([]cell, stripeCount)}
 		root.counters[name] = c
 	}
 	return c
@@ -119,9 +122,16 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Counter is a monotone atomic counter. All methods are safe on nil.
+// Counter is a monotone counter. Registry-created counters are striped:
+// Add lands on one of several cache-line-padded cells picked by a cheap
+// quasi-goroutine-local hash, and Value sums the cells, so concurrent
+// writers on different cores do not contend on one cache line. The zero
+// value is a valid single-cell counter. All methods are safe on nil and for
+// concurrent use; a Value read concurrent with writers may miss in-flight
+// increments but never invents counts, and a quiescent read is exact.
 type Counter struct {
-	v atomic.Int64
+	base  atomic.Int64 // zero-value (unstriped) fallback cell
+	cells []cell       // stripes; length is a power of two when non-empty
 }
 
 // Add increments the counter by n.
@@ -129,18 +139,26 @@ func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
 	}
-	c.v.Add(n)
+	if cs := c.cells; len(cs) != 0 {
+		cs[stripeIndex()&uint64(len(cs)-1)].n.Add(n)
+		return
+	}
+	c.base.Add(n)
 }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
-// Value returns the current count (0 on nil).
+// Value returns the current count (0 on nil), summing all stripes.
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	total := c.base.Load()
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
 }
 
 // Gauge is an atomic float64 cell. All methods are safe on nil.

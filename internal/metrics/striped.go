@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Striped counter cells. A registry-created Counter spreads its increments
+// over several cache-line-padded cells so that trial workers hammering the
+// same counter from different cores do not serialize on one cache line (the
+// classic false-sharing / contended-atomic hotspot). Reads sum the cells;
+// the JSON snapshot shape is unchanged because a counter still renders as a
+// single int64.
+
+// cacheLine is the assumed coherence granularity. Each cell is padded to
+// this size so two cells never share a line.
+const cacheLine = 64
+
+// cell is one cache-line-padded counter stripe.
+type cell struct {
+	n atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// stripeCount is the number of cells per striped counter: the smallest
+// power of two covering GOMAXPROCS at package init, floored at 8 (so runs
+// that raise GOMAXPROCS later, e.g. `go test -cpu`, still spread) and capped
+// at 64 to bound the footprint (64 cells x 64 B = 4 KiB per counter).
+var stripeCount = func() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}()
+
+// stripeIndex derives a cheap quasi-goroutine-local value from the address
+// of a stack variable: goroutines live on distinct stacks, so concurrent
+// callers hash to distinct cells with high probability, without any
+// runtime-private API. The index is stable within a goroutine between stack
+// moves, which is all striping needs -- a moved stack merely re-homes the
+// goroutine to another cell.
+func stripeIndex() uint64 {
+	var marker byte
+	x := uint64(uintptr(unsafe.Pointer(&marker)))
+	// splitmix64 finalizer so the low bits reflect the whole address.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestStripedCounterExactUnderConcurrency(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("striped")
+	if len(c.cells) != stripeCount {
+		t.Fatalf("registry counter has %d cells, want %d", len(c.cells), stripeCount)
+	}
+	const workers = 32
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("striped counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestStripeCountIsPowerOfTwo(t *testing.T) {
+	if stripeCount < 1 || stripeCount&(stripeCount-1) != 0 {
+		t.Fatalf("stripeCount = %d, want a power of two", stripeCount)
+	}
+}
+
+func TestZeroValueCounterStillWorks(t *testing.T) {
+	// A Counter constructed outside the registry has no stripes and must
+	// fall back to the base cell.
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("zero-value counter = %d, want 4", got)
+	}
+}
+
+func TestStripedCounterSnapshotShapeUnchanged(t *testing.T) {
+	// Striping is invisible in the snapshot: a counter still renders as one
+	// int64 under its name.
+	r := NewRegistry()
+	r.Counter("a.b").Add(7)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "\"a.b\": 7"
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("snapshot missing %q:\n%s", want, buf.Bytes())
+	}
+}
+
+func TestStripeIndexSpreadsGoroutines(t *testing.T) {
+	// Distinct goroutines should not all collapse onto one stripe. The hash
+	// is probabilistic, so only require more than one distinct cell across
+	// many goroutines (with 64 goroutines and >= 8 stripes, a single-cell
+	// outcome indicates a broken hash).
+	r := NewRegistry()
+	c := r.Counter("spread")
+	const goroutines = 64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Add(1)
+		}()
+	}
+	wg.Wait()
+	used := 0
+	for i := range c.cells {
+		if c.cells[i].n.Load() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("all %d goroutines landed on %d stripe(s)", goroutines, used)
+	}
+	if got := c.Value(); got != goroutines {
+		t.Fatalf("sum over stripes = %d, want %d", got, goroutines)
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -73,6 +74,63 @@ func TestRunEveryJobOnce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestChunkedClaimingCoversAllShapes(t *testing.T) {
+	// Chunk sizes that divide n, leave remainders, exceed n, and collapse
+	// to 1 must all produce every result exactly once, in order.
+	for _, n := range []int{1, 2, 7, 31, 64, 100, 1000, 1024} {
+		for _, workers := range []int{1, 2, 3, 7, 8, 16, 100} {
+			got, err := Run(n, workers, func(i int) (int, error) { return i * 3, nil })
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if len(got) != n {
+				t.Fatalf("n=%d workers=%d: %d results", n, workers, len(got))
+			}
+			for i, v := range got {
+				if v != i*3 {
+					t.Fatalf("n=%d workers=%d: result[%d] = %d", n, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorIncludesJobIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(10, workers, func(i int) (int, error) {
+			if i == 6 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "sweep job 6") {
+			t.Errorf("workers=%d: error %q does not name the job", workers, err)
+		}
+	}
+}
+
+func TestErrorCancelsMidChunk(t *testing.T) {
+	// With one worker-sized chunk per worker, an error in the first chunk
+	// must stop the erroring worker's remaining indices too.
+	var ran atomic.Int64
+	_, err := Run(64, 2, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// 64/(2*8) = 4 per chunk; both workers stop at a chunk/job boundary, so
+	// far fewer than all 64 jobs run.
+	if ran.Load() >= 64 {
+		t.Errorf("%d jobs ran after an immediate error", ran.Load())
 	}
 }
 
