@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"resilient/internal/lint"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, file string
+		want          bool
+	}{
+		{"./...", "internal/echo/echo.go", true},
+		{"./...", "main.go", true},
+		{"...", "internal/echo/echo.go", true},
+		{".", "main.go", true},
+		{".", "internal/echo/echo.go", false},
+		{"./internal/echo", "internal/echo/echo.go", true},
+		{"internal/echo", "internal/echo/echo.go", true},
+		{"./internal/echo", "internal/echostorm/x.go", false},
+		{"./internal/echo", "internal/echo/sub/x.go", false},
+		{"./internal/mc/...", "internal/mc/mc.go", true},
+		{"./internal/mc/...", "internal/mc/sub/x.go", true},
+		{"./internal/mc/...", "internal/mcmc/x.go", false},
+		{"./internal/mc/...", "cmd/experiments/main.go", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.file); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.file, got, c.want)
+		}
+	}
+}
+
+func TestFilterByPatterns(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "internal/echo/echo.go", Line: 1, Rule: "walltime"},
+		{File: "internal/mc/mc.go", Line: 2, Rule: "hotalloc"},
+		{File: "cmd/experiments/main.go", Line: 3, Rule: "metricshandle"},
+	}
+	got := filterByPatterns(append([]lint.Finding(nil), findings...), []string{"./internal/..."})
+	if len(got) != 2 {
+		t.Fatalf("filter ./internal/... kept %d findings, want 2: %v", len(got), got)
+	}
+	if got[0].File != "internal/echo/echo.go" || got[1].File != "internal/mc/mc.go" {
+		t.Errorf("unexpected files after filtering: %v", got)
+	}
+	all := filterByPatterns(append([]lint.Finding(nil), findings...), []string{"./..."})
+	if len(all) != 3 {
+		t.Errorf("filter ./... kept %d findings, want 3", len(all))
+	}
+}

@@ -100,6 +100,7 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start).Seconds()
+		//lint:allow metricshandle gauge name is per-experiment and dynamic; one lookup per experiment row
 		reg.Gauge("experiment." + e.ID + ".seconds").Set(elapsed)
 		if !*markdown {
 			fmt.Fprintf(out, "=== %s: %s (%.1fs) ===\n\n", e.ID, e.Name, elapsed)

@@ -31,7 +31,7 @@ package bivalence
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"resilient/internal/core"
 	"resilient/internal/msg"
@@ -124,6 +124,7 @@ func (m *Machine) Start() []core.Outbound {
 	}
 	m.started = true
 	m.rows[m.cfg.Self] = &row{input: m.cfg.Input, hasInput: true}
+	//lint:allow hotalloc one map per machine Start, not per message
 	payload := encodeRows(map[msg.ID]*row{m.cfg.Self: m.rows[m.cfg.Self]})
 	return []core.Outbound{core.ToAll(msg.Graph(m.cfg.Self, 0, payload))}
 }
@@ -188,11 +189,11 @@ func (m *Machine) advance() []core.Outbound {
 		// S_p is now fixed: complete our own row.
 		self := m.rows[m.cfg.Self]
 		self.neighbors = append([]msg.ID(nil), m.neighbors...)
-		sort.Slice(self.neighbors, func(i, j int) bool { return self.neighbors[i] < self.neighbors[j] })
+		slices.Sort(self.neighbors)
 		self.hasRow = true
 	}
 	m.stage++
-	m.stageSeen = make(map[msg.ID]bool, len(m.neighbors))
+	clear(m.stageSeen)
 	m.sink.Record(trace.Event{
 		Kind: trace.EventPhase, Process: m.cfg.Self, Phase: m.stage,
 	})

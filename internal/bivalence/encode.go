@@ -3,7 +3,7 @@ package bivalence
 import (
 	"encoding/binary"
 	"errors"
-	"sort"
+	"slices"
 
 	"resilient/internal/msg"
 )
@@ -29,7 +29,7 @@ func encodeRows(rows map[msg.ID]*row) []byte {
 	for id := range rows {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 
 	size := 2
 	for _, id := range ids {
@@ -62,6 +62,7 @@ func decodeRows(buf []byte) (map[msg.ID]*row, error) {
 	}
 	count := int(binary.BigEndian.Uint16(buf[:2]))
 	buf = buf[2:]
+	//lint:allow hotalloc decoding builds the received knowledge graph; the bivalence protocol exchanges whole maps by design
 	rows := make(map[msg.ID]*row, count)
 	for i := 0; i < count; i++ {
 		if len(buf) < 8 {

@@ -7,8 +7,6 @@
 package dense
 
 import (
-	"sort"
-
 	"resilient/internal/msg"
 )
 
@@ -160,7 +158,18 @@ func (p *PhaseBuffer) insert(ph msg.Phase) int {
 		msgs = p.free[n-1]
 		p.free = p.free[:n-1]
 	}
-	i := sort.Search(len(p.buckets), func(i int) bool { return p.buckets[i].phase > ph })
+	// Inline binary search for the first bucket with phase > ph: sort.Search
+	// would force the predicate closure (and p with it) to the heap on a
+	// path reachable from every message step.
+	i, j := 0, len(p.buckets)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if p.buckets[h].phase > ph {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
 	p.buckets = append(p.buckets, phaseBucket{})
 	copy(p.buckets[i+1:], p.buckets[i:])
 	p.buckets[i] = phaseBucket{phase: ph, msgs: msgs}

@@ -48,12 +48,15 @@ type Hypergeometric struct {
 // Validate reports whether the parameters define a proper distribution.
 func (h Hypergeometric) Validate() error {
 	if h.Pop < 0 || h.Success < 0 || h.Draw < 0 {
+		//lint:allow hotalloc error construction on the invalid-parameter path only
 		return fmt.Errorf("dist: negative hypergeometric parameter %+v", h)
 	}
 	if h.Success > h.Pop {
+		//lint:allow hotalloc error construction on the invalid-parameter path only
 		return fmt.Errorf("dist: success count %d exceeds population %d", h.Success, h.Pop)
 	}
 	if h.Draw > h.Pop {
+		//lint:allow hotalloc error construction on the invalid-parameter path only
 		return fmt.Errorf("dist: draw %d exceeds population %d", h.Draw, h.Pop)
 	}
 	return nil

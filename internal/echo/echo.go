@@ -21,6 +21,7 @@ package echo
 
 import (
 	"fmt"
+	"slices"
 
 	"resilient/internal/dense"
 	"resilient/internal/msg"
@@ -71,6 +72,9 @@ type Tracker struct {
 	cur     *phaseTally
 	tallies map[msg.Phase]*phaseTally
 	free    []*phaseTally
+	// scratch holds the phases collected by Prune, reused across calls so
+	// pruning stays allocation-free in steady state.
+	scratch []msg.Phase
 }
 
 // NewTracker returns an empty tracker for an n-process system tolerating k
@@ -187,14 +191,22 @@ func (t *Tracker) Prune(p msg.Phase) {
 	if p <= t.low {
 		return
 	}
-	for ph, pt := range t.tallies {
+	// Release in sorted phase order: map iteration order is randomized, and
+	// the freelist's recycling order must not depend on it.
+	t.scratch = t.scratch[:0]
+	for ph := range t.tallies {
 		if ph < p {
-			delete(t.tallies, ph)
-			if t.cur == pt {
-				t.cur = nil
-			}
-			t.free = append(t.free, pt)
+			t.scratch = append(t.scratch, ph)
 		}
+	}
+	slices.Sort(t.scratch)
+	for _, ph := range t.scratch {
+		pt := t.tallies[ph]
+		delete(t.tallies, ph)
+		if t.cur == pt {
+			t.cur = nil
+		}
+		t.free = append(t.free, pt)
 	}
 	t.low = p
 }

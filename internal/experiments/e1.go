@@ -159,6 +159,7 @@ func maxDecisionPhase(res *runtime.Result) int {
 	max := 0
 	for _, ph := range res.DecisionPhase {
 		if int(ph) > max {
+			//lint:allow maprange max fold is order-insensitive
 			max = int(ph)
 		}
 	}

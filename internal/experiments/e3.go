@@ -40,6 +40,9 @@ func E3(p Params) ([]*Table, error) {
 		Source: "Theorem 2",
 		Header: []string{"n", "k", "crash pattern", "terminated", "agreement", "validity", "phases ±95%", "mean msgs"},
 	}
+	// One scoped view for every trial: resolving it per trial was the
+	// in-loop handle lookup the metricshandle lint rule now rejects.
+	scoped := p.Metrics.Scoped("failstop.")
 	for row, cfg := range configs {
 		trials := p.trials()
 		type trial struct {
@@ -57,7 +60,7 @@ func E3(p Params) ([]*Table, error) {
 				},
 				Crashes: plan,
 				Seed:    seed,
-				Metrics: p.Metrics.Scoped("failstop."),
+				Metrics: scoped,
 			})
 			if err != nil {
 				return trial{}, fmt.Errorf("E3 row %d trial %d: %w", row, tr, err)

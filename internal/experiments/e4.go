@@ -64,6 +64,9 @@ func E4(p Params) ([]*Table, error) {
 		Source: "Theorem 4",
 		Header: []string{"n", "k", "strategy", "terminated", "agreement", "validity", "phases ±95%"},
 	}
+	// One scoped view for every trial: resolving it per trial was the
+	// in-loop handle lookup the metricshandle lint rule now rejects.
+	scoped := p.Metrics.Scoped("malicious.")
 	row := 0
 	for _, nk := range sizes {
 		n, k := nk[0], nk[1]
@@ -94,7 +97,7 @@ func E4(p Params) ([]*Table, error) {
 					Byzantine: byz,
 					Seed:      seed,
 					MaxEvents: 50_000_000,
-					Metrics:   p.Metrics.Scoped("malicious."),
+					Metrics:   scoped,
 				})
 				if err != nil {
 					return trial{}, fmt.Errorf("E4 %s n=%d trial %d: %w", strat, n, tr, err)

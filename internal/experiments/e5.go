@@ -265,7 +265,7 @@ func (g *greedy) OnMessage(in msg.Message) []core.Outbound {
 			}
 		}
 		g.msgCount = [2]int{}
-		g.counted = make(map[msg.ID]bool, g.cfg.N)
+		clear(g.counted)
 		g.phase++
 		out = append(out, core.ToAll(msg.Val(g.cfg.Self, g.phase, g.value)))
 		if buf := g.pending[g.phase]; len(buf) > 0 {

@@ -1,0 +1,198 @@
+// Hot-set computation: which functions are reachable from the machine-step /
+// event-dispatch roots? The walk is a conservative static call graph over the
+// typed ASTs: direct calls and method calls with concrete receivers follow
+// the resolved object; calls through an interface fan out to every module
+// type implementing that interface; any other reference to a module function
+// (a method value, a callback argument) marks the referenced function hot as
+// well. Over-approximation only ever produces an extra diagnostic, which the
+// //lint:allow escape hatch can silence with a reason.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// buildHotSet seeds the hot roots from cfg.HotIfaces and cfg.HotFuncs and
+// propagates reachability.
+func (a *analysis) buildHotSet() {
+	a.hot = make(map[*ast.FuncDecl]*pkgInfo)
+	var work []*declSite
+
+	add := func(obj *types.Func) {
+		site, ok := a.decls[obj]
+		if !ok {
+			return // not declared in this module
+		}
+		if _, seen := a.hot[site.decl]; seen {
+			return
+		}
+		a.hot[site.decl] = site.pkg
+		work = append(work, site)
+	}
+
+	// Roots 1: every method of every module type implementing a hot
+	// interface (e.g. each protocol machine's Start/OnMessage/Decided...).
+	for _, ifaceName := range a.cfg.HotIfaces {
+		iface := a.lookupInterface(ifaceName)
+		if iface == nil {
+			continue
+		}
+		for _, p := range a.pkgs {
+			scope := p.pkg.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				for _, fn := range implMethods(named, iface) {
+					add(fn)
+				}
+			}
+		}
+	}
+
+	// Roots 2: explicitly named dispatch functions.
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if containsString(a.cfg.HotFuncs, declKey(p, fd)) {
+					if obj, ok := p.info.Defs[fd.Name].(*types.Func); ok {
+						add(obj)
+					}
+				}
+			}
+		}
+	}
+
+	// Propagate: walk each hot body (function literals included — a literal
+	// defined on a hot path runs on it) and mark everything it can reach.
+	for len(work) > 0 {
+		site := work[len(work)-1]
+		work = work[:len(work)-1]
+		info := site.pkg.info
+		ast.Inspect(site.decl, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if fn, ok := info.Uses[n].(*types.Func); ok {
+					add(fn)
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+						for _, fn := range a.implementors(iface, n.Sel.Name) {
+							add(fn)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lookupInterface resolves "importpath.Name" to an interface type among the
+// loaded module packages.
+func (a *analysis) lookupInterface(name string) *types.Interface {
+	dot := strings.LastIndex(name, ".")
+	if dot < 0 {
+		return nil
+	}
+	pkgPath, typeName := name[:dot], name[dot+1:]
+	for _, p := range a.pkgs {
+		if p.path != pkgPath {
+			continue
+		}
+		obj := p.pkg.Scope().Lookup(typeName)
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// implMethods returns named's methods that satisfy iface (empty when named
+// does not implement it, even via pointer receiver).
+func implMethods(named *types.Named, iface *types.Interface) []*types.Func {
+	t := types.Type(named)
+	if !types.Implements(t, iface) {
+		t = types.NewPointer(named)
+		if !types.Implements(t, iface) {
+			return nil
+		}
+	}
+	var out []*types.Func
+	for i := 0; i < iface.NumMethods(); i++ {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), iface.Method(i).Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// implementors returns, across the whole module, the named method of every
+// type implementing iface: the possible dynamic targets of an interface call.
+func (a *analysis) implementors(iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, p := range a.pkgs {
+		scope := p.pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			t := types.Type(named)
+			if !types.Implements(t, iface) {
+				t = types.NewPointer(named)
+				if !types.Implements(t, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, p.pkg, method)
+			if fn, ok := obj.(*types.Func); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// declKey renders a function declaration as "importpath.Func" or
+// "importpath.Type.Method" (pointer receivers stripped), the HotFuncs form.
+func declKey(p *pkgInfo, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return p.path + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver [T]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return p.path + "." + id.Name + "." + fd.Name.Name
+			}
+			return p.path + "." + fd.Name.Name
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Hot-path allocation rules. The simulator budget is ~0 allocations per
+// message (DESIGN §6, BenchmarkSimulateZeroAlloc); these checks flag the
+// allocation sources that have historically crept into step/dispatch code:
+// fmt formatting, string concatenation, integer-to-interface boxing, closure
+// captures, and per-step map allocation.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// fmtFormatters are the fmt functions that allocate on every call.
+var fmtFormatters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+func (a *analysis) checkHotAllocs() {
+	// Deterministic iteration order for reporting (findings are re-sorted
+	// globally, but walking in source order keeps any future debugging sane).
+	decls := make([]*ast.FuncDecl, 0, len(a.hot))
+	for d := range a.hot {
+		decls = append(decls, d)
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+	for _, decl := range decls {
+		a.checkHotDecl(a.hot[decl], decl)
+	}
+}
+
+func (a *analysis) checkHotDecl(p *pkgInfo, decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	info := p.info
+	name := decl.Name.Name
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fname, ok := stdFuncCall(info, n, "fmt"); ok && fmtFormatters[fname] {
+				a.report(n.Pos(), "hotalloc",
+					"fmt.%s allocates on the hot path (reachable from %s); build trace notes lazily behind Sink.Enabled or precompute them", fname, name)
+				return true // args are subsumed by this finding
+			}
+			a.checkBoxing(p, n, name)
+			if builtinCall(info, n, "make") && len(n.Args) > 0 {
+				if t := info.TypeOf(n.Args[0]); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						a.report(n.Pos(), "hotalloc",
+							"map allocated on the hot path (reachable from %s); preallocate in the constructor or use dense tables (internal/dense)", name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					a.report(n.Pos(), "hotalloc",
+						"map literal allocated on the hot path (reachable from %s); preallocate in the constructor or use dense tables (internal/dense)", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := info.Types[n]
+				if tv.Value == nil && isStringType(tv.Type) {
+					a.report(n.Pos(), "hotalloc",
+						"string concatenation allocates on the hot path (reachable from %s)", name)
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVars(info, decl, n); len(capt) > 0 {
+				a.report(n.Pos(), "hotalloc",
+					"closure captures %s and escapes to the heap on the hot path (reachable from %s); hoist it to a method", capt[0], name)
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxing flags basic-typed arguments passed to interface parameters:
+// each such call boxes the value on the heap. fmt formatter calls are
+// excluded (already reported wholesale above).
+func (a *analysis) checkBoxing(p *pkgInfo, call *ast.CallExpr, hotName string) {
+	info := p.info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing here
+			}
+			slice, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv := info.Types[arg]
+		if atv.Type == nil || atv.Value != nil {
+			continue // constants are boxed statically by the compiler
+		}
+		if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Info()&(types.IsInteger|types.IsFloat|types.IsBoolean) != 0 {
+			a.report(arg.Pos(), "hotalloc",
+				"%s argument boxed into an interface parameter allocates on the hot path (reachable from %s)", b.Name(), hotName)
+		}
+	}
+}
+
+// capturedVars lists variables a function literal captures from its enclosing
+// function. A literal with no captures compiles to a static function value
+// and is allocation-free, so only capturing literals are flagged.
+func capturedVars(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[types.Object]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration but outside
+		// this literal. Package-level vars fail the first test.
+		if obj.Pos() >= encl.Pos() && obj.Pos() < lit.Pos() {
+			seen[obj] = true
+			names = append(names, obj.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

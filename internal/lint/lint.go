@@ -1,0 +1,300 @@
+// Package lint is consensuslint: a stdlib-only static-analysis suite that
+// enforces this repository's execution-model invariants at compile time.
+//
+// The simulator's correctness argument (DESIGN §7, EXPERIMENTS.md) rests on
+// every run being a pure function of (Config, Seed): goldens, ensemble
+// merges, and the workers=1..N determinism guarantee all assume it. The
+// zero-allocation hot path (DESIGN §6) and the cached-metric-handle
+// discipline are equally load-bearing for throughput. Those invariants were
+// previously guarded only by golden files and benchmarks, which catch a
+// violation after it has corrupted a run; the analyzers here reject the
+// violating code before it compiles into an experiment.
+//
+// Rule families (each finding is tagged [rule]):
+//
+//   - determinism: walltime, globalrand, maprange, goroutine — deterministic
+//     packages must not read wall clocks, draw from the process-global RNG,
+//     iterate maps in an order-sensitive way, or spawn goroutines outside
+//     the blessed parallel entry points.
+//   - hot-path allocations: hotalloc — functions reachable from the
+//     machine-step/event-dispatch call graph must not call fmt formatters,
+//     concatenate strings, box integers into interfaces, capture closures,
+//     or allocate maps.
+//   - metrics discipline: metricshandle — metrics.Registry handle resolution
+//     (Counter/Gauge/Histogram/Scoped) must happen once at construction, not
+//     inside loops or step bodies.
+//   - seed hygiene: seedhygiene — RNG constructors must derive their seeds
+//     from a parameter, field, or trial index, never a literal or the wall
+//     clock.
+//
+// A finding may be suppressed with a directive on the same line or the line
+// immediately above:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory and malformed or unused directives are themselves
+// findings (rule "allow"), so the escape hatch cannot rot silently.
+//
+// The implementation is stdlib-only by design (go/parser + go/types with the
+// source importer); it does not depend on golang.org/x/tools.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic. File is slash-separated and relative to the
+// module root, so output is byte-identical regardless of where the module is
+// checked out.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// Config selects the module to analyze and parameterizes the project-specific
+// rules, so the same analyzers run against both the real tree and the test
+// fixtures.
+type Config struct {
+	// Dir is the module root (the directory containing go.mod).
+	Dir string
+	// DeterministicPkgs lists import paths subject to the determinism rules
+	// (walltime, globalrand, maprange, goroutine).
+	DeterministicPkgs []string
+	// GoroutineAllowed lists deterministic packages that are nevertheless
+	// blessed parallel entry points and may spawn goroutines.
+	GoroutineAllowed []string
+	// MetricsPkg is the import path of the metrics registry package whose
+	// Counter/Gauge/Histogram/Scoped lookups the metricshandle rule tracks.
+	MetricsPkg string
+	// HotIfaces lists interfaces ("importpath.Name") whose implementing
+	// methods are hot-path roots (the protocol Machine contract).
+	HotIfaces []string
+	// HotFuncs lists additional hot-path roots as "importpath.Func" or
+	// "importpath.Type.Method" (receiver base type, pointer stripped).
+	HotFuncs []string
+}
+
+// ProjectConfig returns the configuration for this repository's module
+// rooted at dir.
+func ProjectConfig(dir string) Config {
+	const mod = "resilient"
+	det := []string{
+		mod + "/internal/runtime",
+		mod + "/internal/failstop",
+		mod + "/internal/malicious",
+		mod + "/internal/echo",
+		mod + "/internal/benor",
+		mod + "/internal/mc",
+		mod + "/internal/sweep",
+		mod + "/internal/experiments",
+		mod + "/internal/sched",
+	}
+	return Config{
+		Dir:               dir,
+		DeterministicPkgs: det,
+		GoroutineAllowed: []string{
+			mod + "/internal/sweep",
+			mod + "/internal/mc",
+		},
+		MetricsPkg: mod + "/internal/metrics",
+		HotIfaces:  []string{mod + "/internal/core.Machine"},
+		HotFuncs: []string{
+			// The discrete-event dispatch loop: deliver/dispatch/enqueue and
+			// the event queue follow by static calls.
+			mod + "/internal/runtime.runner.loop",
+			// The Monte-Carlo per-phase chain steps. The lowercase inner
+			// step is the per-phase unit: AbsorptionRun/DecisionRun resolve
+			// metric handles once (atomic-cached) and then call step in the
+			// phase loop, so re-introducing per-phase handle resolution or
+			// allocation inside step is exactly what must be caught.
+			mod + "/internal/mc.FailStop.step",
+			mod + "/internal/mc.Malicious.step",
+		},
+	}
+}
+
+// Run loads every package in the module at cfg.Dir and returns all findings,
+// sorted by (file, line, col, rule, message). A nil slice with a nil error
+// means the tree is clean.
+func Run(cfg Config) ([]Finding, error) {
+	pkgs, fset, err := loadModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &analysis{cfg: cfg, fset: fset, pkgs: pkgs}
+	a.buildIndex()
+	a.buildHotSet()
+	a.checkDeterminism()
+	a.checkHotAllocs()
+	a.checkMetricsDiscipline()
+	a.checkSeedHygiene()
+	a.applyAllowDirectives()
+	sortFindings(a.findings)
+	return a.findings, nil
+}
+
+// WriteJSON renders findings as indented JSON ("[]" when empty) followed by
+// a newline; the encoding is byte-stable for identical findings.
+func WriteJSON(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// analysis carries the loaded module and accumulates findings.
+type analysis struct {
+	cfg      Config
+	fset     *token.FileSet
+	pkgs     []*pkgInfo
+	decls    map[*types.Func]*declSite
+	hot      map[*ast.FuncDecl]*pkgInfo
+	findings []Finding
+}
+
+// declSite locates one module-level function declaration.
+type declSite struct {
+	pkg  *pkgInfo
+	decl *ast.FuncDecl
+}
+
+func (a *analysis) report(pos token.Pos, rule, format string, args ...interface{}) {
+	p := a.fset.Position(pos)
+	file := p.Filename
+	if rel, ok := relPath(a.cfg.Dir, file); ok {
+		file = rel
+	}
+	a.findings = append(a.findings, Finding{
+		File:    file,
+		Line:    p.Line,
+		Col:     p.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// buildIndex maps every module function object to its declaration.
+func (a *analysis) buildIndex() {
+	a.decls = make(map[*types.Func]*declSite)
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := p.info.Defs[fd.Name].(*types.Func); ok {
+					a.decls[obj] = &declSite{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+}
+
+// isDeterministic reports whether the package is subject to the determinism
+// rule family.
+func (a *analysis) isDeterministic(p *pkgInfo) bool {
+	return containsString(a.cfg.DeterministicPkgs, p.path)
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the function object a call expression invokes, or nil
+// for builtins, conversions, and calls through plain function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// stdFuncCall reports whether call invokes pkgPath.name (a package-level
+// function of an imported package).
+func stdFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// builtinCall reports whether the call invokes the named builtin. Builtins
+// resolve to *types.Builtin in Uses (or to nothing in degenerate files),
+// never to a package-level object, so a plain nil test misses them.
+func builtinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok = obj.(*types.Builtin)
+	return ok
+}
+
+// relPath returns file relative to root in slash form.
+func relPath(root, file string) (string, bool) {
+	root = strings.TrimSuffix(root, "/")
+	if root == "" || root == "." {
+		return strings.TrimPrefix(file, "./"), true
+	}
+	if strings.HasPrefix(file, root+"/") {
+		return strings.TrimPrefix(file, root+"/"), true
+	}
+	return file, false
+}

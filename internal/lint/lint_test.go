@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureConfig mirrors ProjectConfig for the fixture module under testdata:
+// det and pool are the deterministic packages (pool goroutine-blessed),
+// core.Machine is the hot interface, and hot.Drive a named hot root.
+func fixtureConfig() Config {
+	return Config{
+		Dir:               filepath.Join("testdata", "fixturemod"),
+		DeterministicPkgs: []string{"fixture/det", "fixture/pool"},
+		GoroutineAllowed:  []string{"fixture/pool"},
+		MetricsPkg:        "fixture/metrics",
+		HotIfaces:         []string{"fixture/core.Machine"},
+		HotFuncs:          []string{"fixture/hot.Drive"},
+	}
+}
+
+func runFixture(t *testing.T) []Finding {
+	t.Helper()
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run(fixture): %v", err)
+	}
+	return findings
+}
+
+func renderFindings(fs []Finding) []byte {
+	var buf bytes.Buffer
+	for _, f := range fs {
+		buf.WriteString(f.String())
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestFixtureGolden locks the full diagnostic output over the fixture module:
+// every rule's positives fire with the expected file:line and message, and
+// none of the negatives (blessed idioms, annotated exceptions, cold code) do.
+func TestFixtureGolden(t *testing.T) {
+	got := renderFindings(runFixture(t))
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fixture findings diverge from golden (run with -update to regenerate)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEveryRuleRepresented guards the fixture itself: each rule family must
+// have at least one surviving positive, so a rule cannot silently stop firing
+// without the golden shrinking.
+func TestEveryRuleRepresented(t *testing.T) {
+	rules := map[string]bool{}
+	for _, f := range runFixture(t) {
+		rules[f.Rule] = true
+	}
+	for _, want := range []string{
+		"walltime", "globalrand", "maprange", "goroutine",
+		"hotalloc", "metricshandle", "seedhygiene", "allow",
+	} {
+		if !rules[want] {
+			t.Errorf("no fixture finding exercises rule %q", want)
+		}
+	}
+}
+
+// TestFindingsDeterministic runs the analysis twice and requires identical,
+// (file, line, col, rule, message)-sorted findings and byte-identical JSON:
+// the linter must hold itself to the determinism standard it enforces.
+func TestFindingsDeterministic(t *testing.T) {
+	first := runFixture(t)
+	second := runFixture(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two runs over the same tree differ:\n%s\nvs\n%s",
+			renderFindings(first), renderFindings(second))
+	}
+	sorted := append([]Finding(nil), first...)
+	sortFindings(sorted)
+	if !reflect.DeepEqual(first, sorted) {
+		t.Errorf("findings not sorted by (file, line, col, rule, message):\n%s", renderFindings(first))
+	}
+	j1, err := WriteJSON(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := WriteJSON(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON output differs between identical runs")
+	}
+}
+
+// TestWriteJSONEmpty pins the clean-tree JSON encoding.
+func TestWriteJSONEmpty(t *testing.T) {
+	data, err := WriteJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q", data, "[]\n")
+	}
+}

@@ -1,0 +1,106 @@
+// Metrics-discipline rule. Registry.Counter/Gauge/Histogram/Scoped take the
+// registry mutex and hash the metric name; PR 3 fixed a real bug class where
+// chains re-resolved six handles per Step. The rule enforces the fix
+// globally: resolve handles once at construction, never inside a loop or a
+// hot (step/dispatch) body.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// metricsLookups are the Registry methods that resolve or derive handles.
+var metricsLookups = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Scoped": true,
+}
+
+func (a *analysis) checkMetricsDiscipline() {
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				_, isHot := a.hot[fd]
+				a.checkMetricsIn(p, fd, isHot)
+			}
+		}
+	}
+}
+
+func (a *analysis) checkMetricsIn(p *pkgInfo, fd *ast.FuncDecl, hot bool) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.CallExpr:
+			if name, ok := a.metricsLookup(p, n); ok {
+				switch {
+				case loopDepth > 0:
+					a.report(n.Pos(), "metricshandle",
+						"metrics handle %s resolved inside a loop; resolve once before the loop and reuse the handle", name)
+				case hot:
+					a.report(n.Pos(), "metricshandle",
+						"metrics handle %s resolved in a hot step/dispatch body (%s); resolve at construction and cache the handle", name, fd.Name.Name)
+				}
+			}
+		}
+		depth := loopDepth
+		for _, c := range childNodes(n) {
+			walk(c, depth)
+		}
+	}
+	walk(fd.Body, 0)
+}
+
+// metricsLookup reports whether call resolves a metrics handle on the
+// configured registry type.
+func (a *analysis) metricsLookup(p *pkgInfo, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !metricsLookups[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != a.cfg.MetricsPkg {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	return sel.Sel.Name + "(" + firstArgLabel(call) + ")", true
+}
+
+// firstArgLabel renders the metric name argument when it is a plain string
+// literal, for friendlier diagnostics.
+func firstArgLabel(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "..."
+}
+
+// childNodes returns the direct children of n, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first { // the root itself
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

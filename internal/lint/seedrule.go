@@ -1,0 +1,97 @@
+// Seed-hygiene rule. Reproducibility requires that every RNG stream be
+// derivable from the experiment description: a constant seed silently reuses
+// one stream everywhere (trials stop being independent), and a wall-clock
+// seed makes the run unrepeatable. Seeds must flow in from a parameter, a
+// config field, or a trial index; mixing in constant stream-separation salt
+// alongside such a value is fine.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededCtors are the rand constructors whose arguments are seed material.
+var seededCtors = map[string]bool{
+	"NewPCG": true, "NewChaCha8": true, "NewSource": true,
+}
+
+func (a *analysis) checkSeedHygiene() {
+	for _, p := range a.pkgs {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := stdFuncCall(p.info, call, "math/rand/v2")
+				if !ok {
+					name, ok = stdFuncCall(p.info, call, "math/rand")
+				}
+				if !ok || !seededCtors[name] || len(call.Args) == 0 {
+					return true
+				}
+				if wallClockSeed(p.info, call) {
+					a.report(call.Pos(), "seedhygiene",
+						"rand.%s seeded from the wall clock; runs must be reproducible from an explicit seed", name)
+					return true
+				}
+				allConst := true
+				for _, arg := range call.Args {
+					if !constLike(p.info, arg) {
+						allConst = false
+						break
+					}
+				}
+				if allConst {
+					a.report(call.Pos(), "seedhygiene",
+						"rand.%s seeded with constants only; derive the seed from a parameter, config field, or trial index", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// wallClockSeed reports whether any seed argument involves a time-package
+// call (time.Now().UnixNano() and friends).
+func wallClockSeed(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, c); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// constLike reports whether e carries no runtime-varying input: constants,
+// conversions of constants, and composite literals of constants.
+func constLike(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if !constLike(info, el) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return constLike(info, e.Args[0]) // conversion of a constant
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRealTreeClean is the meta-test: the repository's own module must lint
+// clean under ProjectConfig, so every invariant the rules encode — no wall
+// clocks or global RNG in deterministic packages, no allocation on the
+// step/dispatch hot path, cached metric handles, derived seeds — holds in
+// the tree that ships the linter. Each remaining exception carries a
+// //lint:allow with its justification; a stale one fails this test too.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(ProjectConfig(root))
+	if err != nil {
+		t.Fatalf("Run(ProjectConfig): %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

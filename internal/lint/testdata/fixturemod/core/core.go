@@ -1,0 +1,16 @@
+// Package core declares the fixture machine contract. Methods of types
+// implementing Machine are hot-path roots for the hotalloc rule, mirroring
+// the real module's core.Machine.
+package core
+
+// Msg is a fixture message.
+type Msg struct {
+	From, To int
+	Value    int
+}
+
+// Machine is the fixture hot interface.
+type Machine interface {
+	ID() int
+	OnMessage(in Msg) []Msg
+}

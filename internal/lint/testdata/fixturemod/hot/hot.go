@@ -1,0 +1,94 @@
+// Package hot implements the fixture Machine: its interface methods are hot
+// roots, everything they reach is hot, and each allocation source the
+// hotalloc rule knows about appears once — plus the negatives (cold code,
+// constructor-time resolution, an annotated exception) that must stay legal.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+
+	"fixture/core"
+	"fixture/metrics"
+)
+
+// enabled gates the trace formatting below; it is always false in the
+// fixture.
+var enabled bool
+
+// M is the fixture machine.
+type M struct {
+	id   int
+	reg  *metrics.Registry
+	hits *metrics.Counter
+	note string
+}
+
+// New constructs a machine, resolving the metric handle once: no finding.
+func New(id int, reg *metrics.Registry) *M {
+	return &M{id: id, reg: reg, hits: reg.Counter("hot.hits")}
+}
+
+// ID implements core.Machine.
+func (m *M) ID() int { return m.id }
+
+// OnMessage implements core.Machine; it is a hot root.
+func (m *M) OnMessage(in core.Msg) []core.Msg {
+	m.hits.Add(1)
+	// fmt formatting on the hot path: hotalloc finding.
+	m.note = fmt.Sprintf("m%d", in.From)
+	// String concatenation on the hot path: hotalloc finding.
+	m.note = m.note + strconv.Itoa(in.Value)
+	// Map literal on the hot path: hotalloc finding.
+	seen := map[int]bool{in.From: true}
+	_ = seen
+	// Handle resolution in a hot body: metricshandle finding.
+	m.reg.Counter("hot.msgs").Add(1)
+	m.trace(in)
+	return m.dispatch(in)
+}
+
+// dispatch is reachable from OnMessage, so it is hot too.
+func (m *M) dispatch(in core.Msg) []core.Msg {
+	// Integer boxed into an interface parameter: hotalloc finding.
+	box(in.Value)
+	// Capturing closure escapes to the heap: hotalloc finding.
+	f := func() int { return m.id }
+	_ = f()
+	// Map allocation via make: hotalloc finding.
+	counts := make(map[int]int, 2)
+	counts[in.From]++
+	return nil
+}
+
+// trace formats behind an always-off gate, with an annotated exception: no
+// finding.
+func (m *M) trace(in core.Msg) {
+	if !enabled {
+		return
+	}
+	//lint:allow hotalloc fixture demo: formatting behind the enabled gate
+	m.note = fmt.Sprintf("ev %d", in.Value)
+}
+
+// box boxes any basic-typed argument.
+func box(v interface{}) { _ = v }
+
+// Drive is an explicitly configured hot root (HotFuncs, "fixture/hot.Drive").
+func Drive(ms []core.Msg) {
+	for _, in := range ms {
+		leak(in.Value)
+	}
+}
+
+// leak is hot because Drive reaches it.
+func leak(v int) string {
+	// String concatenation, reachable from the HotFuncs root: hotalloc
+	// finding.
+	return "v=" + strconv.Itoa(v)
+}
+
+// Cold is reachable from no hot root: formatting here is legal, no finding.
+func Cold(v int) string {
+	return fmt.Sprintf("cold %d", v)
+}

@@ -1,0 +1,40 @@
+// Package metrics is a fixture registry with the same handle-resolution
+// shape as the real one: Counter/Gauge/Histogram/Scoped are the lookups the
+// metricshandle rule tracks.
+package metrics
+
+// Registry resolves named handles.
+type Registry struct{}
+
+// Counter resolves a counter handle.
+func (r *Registry) Counter(name string) *Counter { _ = name; return &Counter{} }
+
+// Gauge resolves a gauge handle.
+func (r *Registry) Gauge(name string) *Gauge { _ = name; return &Gauge{} }
+
+// Histogram resolves a histogram handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	_, _ = name, bounds
+	return &Histogram{}
+}
+
+// Scoped derives a prefixed view of the registry.
+func (r *Registry) Scoped(prefix string) *Registry { _ = prefix; return r }
+
+// Counter is a fixture counter handle.
+type Counter struct{ n int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Gauge is a fixture gauge handle.
+type Gauge struct{ v float64 }
+
+// Set sets the gauge.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram is a fixture histogram handle.
+type Histogram struct{ n int }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { _ = v; h.n++ }

@@ -1,0 +1,26 @@
+// Package metuse exercises the metricshandle loop rule outside hot code:
+// the rule applies module-wide, not only to hot bodies.
+package metuse
+
+import "fixture/metrics"
+
+// LoopLookup resolves a handle on every iteration: metricshandle finding.
+func LoopLookup(reg *metrics.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("loop.iters").Add(1)
+	}
+}
+
+// CachedLookup hoists the handle out of the loop: no finding.
+func CachedLookup(reg *metrics.Registry, n int) {
+	c := reg.Counter("loop.iters")
+	for i := 0; i < n; i++ {
+		c.Add(1)
+	}
+}
+
+// ScopedOnce derives a scoped view once per call, outside any loop: no
+// finding.
+func ScopedOnce(reg *metrics.Registry) *metrics.Registry {
+	return reg.Scoped("fixture.")
+}

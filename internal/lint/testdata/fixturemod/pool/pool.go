@@ -1,0 +1,19 @@
+// Package pool is a fixture blessed parallel entry point: it is listed in
+// both DeterministicPkgs and GoroutineAllowed, so spawning workers here is
+// legal while the other determinism rules still apply.
+package pool
+
+import "sync"
+
+// Fan runs fn on n workers: no finding (pool is goroutine-blessed).
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

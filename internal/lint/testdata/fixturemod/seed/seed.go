@@ -1,0 +1,33 @@
+// Package seed exercises the seedhygiene rule: RNG constructors must derive
+// their seed material from a parameter, field, or trial index.
+package seed
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Constant reuses one stream everywhere: seedhygiene finding.
+func Constant() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2))
+}
+
+// WallClock is unrepeatable: seedhygiene finding.
+func WallClock() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 0))
+}
+
+// Derived takes the seed from a parameter and the stream from a trial
+// index: no finding.
+func Derived(seed uint64, trial int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(trial)))
+}
+
+// Cfg carries an explicit seed.
+type Cfg struct{ Seed uint64 }
+
+// RNG seeds from a config field plus constant stream-separation salt: no
+// finding.
+func (c Cfg) RNG() *rand.Rand {
+	return rand.New(rand.NewPCG(c.Seed, 0xbeef))
+}

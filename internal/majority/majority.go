@@ -159,7 +159,7 @@ func (m *Machine) endPhase() []core.Outbound {
 	// A decided process keeps echoing its pinned value so the rest of the
 	// system can reach its own decision.
 	m.msgCount = [2]int{}
-	m.counted = make(map[msg.ID]bool, m.cfg.N)
+	clear(m.counted)
 	m.phase++
 	m.sink.Record(trace.Event{
 		Kind: trace.EventPhase, Process: m.cfg.Self, Phase: m.phase, Value: m.value,

@@ -54,6 +54,7 @@ type phaseMarks struct {
 func (p *phaseMarks) mark(ph msg.Phase, id msg.ID) (already bool) {
 	if p.cur == nil || p.curPh != ph {
 		if p.sets == nil {
+			//lint:allow hotalloc lazy one-time map per machine lifetime; per-phase marks reuse dense bitsets
 			p.sets = make(map[msg.Phase]*dense.Bitset)
 		}
 		s := p.sets[ph]
@@ -280,6 +281,7 @@ func (m *Machine) observe(sender, subject msg.ID, v msg.Value) {
 	if m.traceOn {
 		m.sink.Record(trace.Event{
 			Kind: trace.EventAccept, Process: m.cfg.Self, Phase: m.phase, Value: acc.Value,
+			//lint:allow hotalloc note formatting runs only when a sink is enabled (traceOn gate)
 			Note: fmt.Sprintf("from p%d", acc.Subject),
 		})
 	}

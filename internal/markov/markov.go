@@ -143,6 +143,7 @@ func BalancingAdversaryOnes(n, k, correctOnes int, forced bool) int {
 // behaviour is well within the model: malicious processes may follow "some
 // malevolent plan" of any kind.
 func BalancingMix(n, k, correctOnes int, forced bool) (lo int, pHi float64) {
+	//lint:allow hotalloc per-phase sampler construction; cost is dominated by the HG table build
 	wAt := func(a int) float64 { return viewMajorityProb(n, k, correctOnes, a, forced) }
 	// w is nondecreasing in the number of adversarial ones.
 	if wAt(0) >= 0.5 {

@@ -382,6 +382,7 @@ func (c *Malicious) viewSamplers(ones int) (*viewSampler, error) {
 	forced := c.Model == Forced
 	lo, pHi := markov.BalancingMix(c.N, c.K, ones, forced)
 	v := &viewSampler{pHi: pHi}
+	//lint:allow hotalloc per-phase sampler construction; cost is dominated by the HG table build
 	build := func(advOnes int) (*dist.HGSampler, int, error) {
 		if forced {
 			s, err := dist.NewHGSampler(dist.Hypergeometric{Pop: correct, Success: ones, Draw: draw - c.K})

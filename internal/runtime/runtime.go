@@ -333,7 +333,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	started := time.Now()
+	started := time.Now() //lint:allow walltime wall-clock run accounting; machines never observe it
 	r := &runner{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
@@ -396,7 +396,7 @@ func Run(cfg Config) (*Result, error) {
 		r.checkDecision(msg.ID(i))
 	}
 	r.loop()
-	r.result.WallClock = time.Since(started)
+	r.result.WallClock = time.Since(started) //lint:allow walltime wall-clock run accounting; machines never observe it
 	r.finish()
 	return r.result, nil
 }
@@ -483,6 +483,7 @@ func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
 		r.sink.Record(trace.Event{
 			Time: r.now, Kind: trace.EventSend, Process: from,
 			Phase: m.Phase, Value: m.Value,
+			//lint:allow hotalloc note formatting runs only when a sink is enabled (traceOn gate)
 			Note: fmt.Sprintf("%s -> p%d", m.Kind, to),
 		})
 	}
@@ -535,6 +536,7 @@ func (r *runner) deliver(e event) {
 		r.sink.Record(trace.Event{
 			Time: r.now, Kind: trace.EventDeliver, Process: id,
 			Phase: e.m.Phase, Value: e.m.Value,
+			//lint:allow hotalloc note formatting runs only when a sink is enabled (traceOn gate)
 			Note: fmt.Sprintf("%s from p%d", e.m.Kind, e.m.From),
 		})
 	}
@@ -577,6 +579,7 @@ func (r *runner) finish() {
 	first := true
 	for _, v := range res.Decisions {
 		if first {
+			//lint:allow maprange Value is meaningful only when Agreement holds, i.e. all entries are equal
 			res.Value = v
 			first = false
 			continue
