@@ -81,16 +81,10 @@ func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts 
 	return cluster.Run(ctx)
 }
 
-// RunTCPCluster executes the protocol live over loopback TCP: every process
-// gets its own listening socket and a full mesh of connections. It is the
-// deployment-shaped demonstration; for experiments use Simulate.
-func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
-	o := applyClusterOptions(opts)
-	machines, err := buildMachines(p, n, k, inputs, 1)
-	if err != nil {
-		return nil, err
-	}
-	// Stage 1: everyone listens on an ephemeral port.
+// tcpMeshConns starts n loopback TCP endpoints on ephemeral ports and wires
+// them into a full mesh: everyone listens first, then the discovered
+// addresses are exchanged. On error, every endpoint opened so far is closed.
+func tcpMeshConns(n int, reg *MetricsRegistry) ([]transport.Conn, error) {
 	endpoints := make([]*netxport.Endpoint, n)
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -104,10 +98,9 @@ func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, op
 			}
 			return nil, err
 		}
-		ep.SetMetrics(o.metrics)
+		ep.SetMetrics(reg)
 		endpoints[i] = ep
 	}
-	// Stage 2: exchange the discovered addresses.
 	final := make([]string, n)
 	for i, ep := range endpoints {
 		final[i] = ep.Addr()
@@ -119,10 +112,26 @@ func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, op
 		}
 		conns[i] = ep
 	}
+	return conns, nil
+}
+
+// RunTCPCluster executes the protocol live over loopback TCP: every process
+// gets its own listening socket and a full mesh of connections. It is the
+// deployment-shaped demonstration; for experiments use Simulate.
+func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
+	o := applyClusterOptions(opts)
+	machines, err := buildMachines(p, n, k, inputs, 1)
+	if err != nil {
+		return nil, err
+	}
+	conns, err := tcpMeshConns(n, o.metrics)
+	if err != nil {
+		return nil, err
+	}
 	cluster, err := livenet.NewCluster(machines, conns)
 	if err != nil {
-		for _, ep := range endpoints {
-			ep.Close()
+		for _, c := range conns {
+			c.Close()
 		}
 		return nil, err
 	}

@@ -1,18 +1,26 @@
-// Command consensus-sim runs a single consensus execution under the
-// discrete-event engine and reports the outcome.
+// Command consensus-sim runs a single consensus execution and reports the
+// outcome. The -engine flag picks where it runs: the deterministic
+// discrete-event simulator (default), a goroutine-per-process in-memory
+// cluster, the same with jittered delivery, or a loopback TCP mesh. Fault
+// plans (-crash), adversaries (-adversary), and link policies (-policy)
+// mean the same thing on every engine.
 //
 // Usage:
 //
 //	consensus-sim -protocol failstop -n 7 -k 3 -inputs 0101011 -seed 1
 //	consensus-sim -protocol malicious -n 10 -k 3 -adversary balancer -trace
 //	consensus-sim -protocol failstop -n 9 -k 4 -crash "3:1:5,7:0:0" -trials 100
+//	consensus-sim -protocol failstop -n 7 -k 3 -engine tcp -crash "5:1:3,6:0:0"
+//	consensus-sim -protocol failstop -n 7 -k 3 -engine mem -policy drop:0.1,uniform:0.1:1
 //
 // With -trials > 1 it reports aggregate statistics over seeded runs instead
 // of a single execution; -workers fans the trials across goroutines without
-// changing any reported number (trial tr always uses seed+tr).
+// changing any reported number (trial tr always uses seed+tr). Live engines
+// run single executions only.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -21,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"resilient"
 	"resilient/internal/stats"
@@ -51,6 +60,10 @@ func run(args []string) error {
 		unsafe      = fs.Bool("unsafe", false, "skip the resilience-bound validation of (n, k)")
 		asJSON      = fs.Bool("json", false, "emit the result as JSON (single-trial runs only)")
 		metricsPath = fs.String("metrics-json", "", "write a key-sorted run-accounting snapshot to this file (aggregated over all trials)")
+		engineName  = fs.String("engine", "sim", "execution engine: sim | mem | jitter | tcp")
+		policySpec  = fs.String("policy", "", "link policy: comma-chained wrappers over a base, e.g. uniform:0.1:1 | exp:1 | const:1 | drop:0.1,uniform:0.1:1 | partition:2,const:1")
+		unitFlag    = fs.Duration("unit", 0, "wall-clock length of one policy delay unit on live engines (default 1ms)")
+		timeoutFlag = fs.Duration("timeout", 30*time.Second, "deadline for live-engine runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +88,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	engine, err := resilient.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policySpec)
+	if err != nil {
+		return err
+	}
 
 	var reg *resilient.MetricsRegistry
 	if *metricsPath != "" {
@@ -92,11 +113,50 @@ func run(args []string) error {
 		return resilient.WriteMetricsJSON(f, reg)
 	}
 
+	if engine.Live() {
+		if *trials > 1 {
+			return fmt.Errorf("engine %v runs single executions; aggregate trials with -engine sim", engine)
+		}
+		if *showTrace {
+			return errors.New("-trace is simulator-only")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeoutFlag)
+		defer cancel()
+		out, runErr := resilient.RunScenario(ctx, engine, resilient.Scenario{
+			Protocol:    proto,
+			N:           *n,
+			K:           *k,
+			Inputs:      inputs,
+			Seed:        *seed,
+			Crashes:     crashes,
+			Adversaries: adversaries,
+			Policy:      pol,
+			Unit:        *unitFlag,
+			Unsafe:      *unsafe,
+			Metrics:     reg,
+		})
+		if out == nil {
+			return runErr
+		}
+		if err := writeMetrics(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := printOutcomeJSON(proto, engine, *n, *k, out); err != nil {
+				return err
+			}
+			return runErr
+		}
+		printOutcome(engine, out)
+		return runErr
+	}
+
 	if *trials <= 1 {
 		opts := resilient.SimOptions{
 			Seed:        *seed,
 			Crashes:     crashes,
 			Adversaries: adversaries,
+			Policy:      pol,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		}
@@ -133,6 +193,7 @@ func run(args []string) error {
 			Seed:        *seed + uint64(tr),
 			Crashes:     crashes,
 			Adversaries: adversaries,
+			Policy:      pol,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})
@@ -279,6 +340,158 @@ func parseAdversaries(spec string, n, k int) (map[resilient.ID]resilient.Strateg
 		adv[resilient.ID(n-1-i)] = strat
 	}
 	return adv, nil
+}
+
+// parsePolicy builds a link policy from a comma-chained spec: wrappers
+// (drop:P, partition:BOUNDARY) read left to right around a base delay
+// policy (uniform:MIN:MAX, exp:MEAN, const:D, or default), which must come
+// last. Example: "drop:0.1,uniform:0.1:1" loses 10% of messages and delays
+// the rest uniformly.
+func parsePolicy(spec string) (resilient.LinkPolicy, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	var pol resilient.LinkPolicy
+	for i := len(parts) - 1; i >= 0; i-- {
+		entry := strings.TrimSpace(parts[i])
+		fields := strings.Split(entry, ":")
+		nums := make([]float64, len(fields)-1)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("policy entry %q: %w", entry, err)
+			}
+			nums[j] = v
+		}
+		base := func() error {
+			if pol != nil {
+				return fmt.Errorf("policy entry %q: base delay policy must be the last entry", entry)
+			}
+			return nil
+		}
+		switch fields[0] {
+		case "default":
+			if err := base(); err != nil {
+				return nil, err
+			}
+			pol = resilient.PolicyFromScheduler(nil)
+		case "uniform":
+			if len(nums) != 2 {
+				return nil, fmt.Errorf("policy entry %q: want uniform:MIN:MAX", entry)
+			}
+			if err := base(); err != nil {
+				return nil, err
+			}
+			pol = resilient.PolicyFromScheduler(resilient.UniformDelay{Min: nums[0], Max: nums[1]})
+		case "exp":
+			if len(nums) != 1 {
+				return nil, fmt.Errorf("policy entry %q: want exp:MEAN", entry)
+			}
+			if err := base(); err != nil {
+				return nil, err
+			}
+			pol = resilient.PolicyFromScheduler(resilient.ExponentialDelay{Mean: nums[0]})
+		case "const":
+			if len(nums) != 1 {
+				return nil, fmt.Errorf("policy entry %q: want const:D", entry)
+			}
+			if err := base(); err != nil {
+				return nil, err
+			}
+			pol = resilient.PolicyFromScheduler(resilient.ConstantDelay{D: nums[0]})
+		case "drop":
+			if len(nums) != 1 || nums[0] < 0 || nums[0] > 1 {
+				return nil, fmt.Errorf("policy entry %q: want drop:P with P in [0,1]", entry)
+			}
+			pol = resilient.DropPolicy{P: nums[0], Base: pol}
+		case "partition":
+			if len(nums) != 1 || nums[0] != float64(int(nums[0])) {
+				return nil, fmt.Errorf("policy entry %q: want partition:BOUNDARY", entry)
+			}
+			pol = resilient.PartitionPolicy{
+				GroupOf: resilient.HalvesPartition(resilient.ID(int(nums[0]))),
+				Base:    pol,
+			}
+		default:
+			return nil, fmt.Errorf("unknown policy entry %q", entry)
+		}
+	}
+	return pol, nil
+}
+
+func printOutcome(engine resilient.Engine, out *resilient.Outcome) {
+	fmt.Printf("engine       %v\n", engine)
+	fmt.Printf("all decided  %v\n", out.AllDecided)
+	fmt.Printf("agreement    %v\n", out.Agreement)
+	if len(out.Decisions) > 0 {
+		fmt.Printf("value        %d\n", out.Value)
+	}
+	fmt.Printf("elapsed      %v\n", out.Elapsed.Round(time.Microsecond))
+	if len(out.Crashed) > 0 {
+		fmt.Printf("crashed      %v\n", out.Crashed)
+	}
+	ids := make([]int, 0, len(out.Decisions))
+	for id := range out.Decisions {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  p%-3d decided %d in phase %d\n",
+			id, out.Decisions[resilient.ID(id)], out.DecisionPhase[resilient.ID(id)])
+	}
+}
+
+// outcomeJSON is the machine-readable live-run summary.
+type outcomeJSON struct {
+	Protocol   string            `json:"protocol"`
+	Engine     string            `json:"engine"`
+	N          int               `json:"n"`
+	K          int               `json:"k"`
+	AllDecided bool              `json:"allDecided"`
+	Agreement  bool              `json:"agreement"`
+	Value      *int              `json:"value,omitempty"`
+	ElapsedSec float64           `json:"elapsedSeconds"`
+	Crashed    []int             `json:"crashed,omitempty"`
+	Decisions  []outcomeDecision `json:"decisions"`
+}
+
+type outcomeDecision struct {
+	Process int `json:"process"`
+	Value   int `json:"value"`
+	Phase   int `json:"phase"`
+}
+
+func printOutcomeJSON(proto resilient.Protocol, engine resilient.Engine, n, k int, res *resilient.Outcome) error {
+	out := outcomeJSON{
+		Protocol:   proto.String(),
+		Engine:     engine.String(),
+		N:          n,
+		K:          k,
+		AllDecided: res.AllDecided,
+		Agreement:  res.Agreement,
+		ElapsedSec: res.Elapsed.Seconds(),
+	}
+	if len(res.Decisions) > 0 {
+		v := int(res.Value)
+		out.Value = &v
+	}
+	for _, id := range res.Crashed {
+		out.Crashed = append(out.Crashed, int(id))
+	}
+	for id, v := range res.Decisions {
+		out.Decisions = append(out.Decisions, outcomeDecision{
+			Process: int(id),
+			Value:   int(v),
+			Phase:   int(res.DecisionPhase[id]),
+		})
+	}
+	sort.Slice(out.Decisions, func(i, j int) bool {
+		return out.Decisions[i].Process < out.Decisions[j].Process
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // jsonResult is the machine-readable single-run summary.

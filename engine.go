@@ -1,0 +1,323 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilient/internal/core"
+	"resilient/internal/faults"
+	"resilient/internal/livenet"
+	"resilient/internal/msg"
+	"resilient/internal/policy"
+	"resilient/internal/runtime"
+	"resilient/internal/transport"
+)
+
+// Engine selects an execution engine. All engines run the same protocol
+// machines under the same fault plans and link policies; they differ only in
+// where asynchrony comes from.
+type Engine int
+
+const (
+	// EngineSim is the deterministic discrete-event simulator: virtual
+	// time, seeded randomness, reproducible executions.
+	EngineSim Engine = iota + 1
+	// EngineMem runs one goroutine per process over an in-memory message
+	// system; asynchrony comes from the Go scheduler.
+	EngineMem
+	// EngineJitter is EngineMem with random per-message delivery delays in
+	// the transport, realizing the paper's probabilistic delivery
+	// assumption (Section 2.3) in real time.
+	EngineJitter
+	// EngineTCP runs one goroutine per process over a loopback TCP mesh --
+	// real sockets, real frames, the deployment shape.
+	EngineTCP
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineSim:
+		return "sim"
+	case EngineMem:
+		return "mem"
+	case EngineJitter:
+		return "jitter"
+	case EngineTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Live reports whether the engine runs in real time (everything but the
+// simulator).
+func (e Engine) Live() bool { return e == EngineMem || e == EngineJitter || e == EngineTCP }
+
+// Valid reports whether e names an engine.
+func (e Engine) Valid() bool { return e >= EngineSim && e <= EngineTCP }
+
+// ParseEngine resolves an engine name: sim | mem | jitter | tcp.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "sim", "":
+		return EngineSim, nil
+	case "mem":
+		return EngineMem, nil
+	case "jitter":
+		return EngineJitter, nil
+	case "tcp":
+		return EngineTCP, nil
+	default:
+		return 0, fmt.Errorf("resilient: unknown engine %q (want sim | mem | jitter | tcp)", s)
+	}
+}
+
+// LinkPolicy decides per-link message delivery -- delay, loss, partition --
+// for every engine; see the internal policy package. A policy built from a
+// Scheduler reproduces the simulator's delay behaviour bit-exactly.
+type LinkPolicy = policy.LinkPolicy
+
+// DropPolicy loses each message independently with probability P before
+// consulting Base for the delay of survivors.
+type DropPolicy = policy.Drop
+
+// PartitionPolicy drops every message crossing between groups; GroupOf maps
+// a process to its group.
+type PartitionPolicy = policy.Partition
+
+// PolicyFromScheduler lifts a delay Scheduler into a LinkPolicy that never
+// drops (nil selects the default Uniform[0.1, 1] scheduler).
+func PolicyFromScheduler(s Scheduler) LinkPolicy { return policy.FromScheduler(s) }
+
+// HalvesPartition returns a GroupOf function splitting processes into
+// [0, boundary) and [boundary, n).
+func HalvesPartition(boundary ID) func(ID) int {
+	return func(id ID) int {
+		if id < boundary {
+			return 0
+		}
+		return 1
+	}
+}
+
+// Scenario is one engine-independent experiment: protocol, system size,
+// inputs, faults, and link behaviour. The same Scenario value runs on any
+// Engine via RunScenario.
+type Scenario struct {
+	// Protocol selects the consensus protocol.
+	Protocol Protocol
+	// N is the system size; K the fault parameter.
+	N, K int
+	// Inputs holds the n initial values.
+	Inputs []Value
+	// Seed selects the execution (simulator) and seeds policy and coin
+	// randomness (all engines).
+	Seed uint64
+	// Crashes schedules fail-stop deaths, keyed by process. All engines
+	// apply the same crash-at-(phase, afterSends) semantics.
+	Crashes map[ID]Crash
+	// Adversaries assigns Byzantine strategies to processes. All
+	// strategies except StrategyBalancer (which needs the simulator's
+	// omniscient world view) run on every engine.
+	Adversaries map[ID]Strategy
+	// Scheduler is the simulator's delay policy when Policy is nil;
+	// live engines ignore it (use Policy for engine-independent delays).
+	Scheduler Scheduler
+	// Policy, when non-nil, decides per-link delivery on every engine:
+	// virtual delay units in the simulator, wall-clock units of Unit on
+	// the live engines.
+	Policy LinkPolicy
+	// Unit is the wall-clock length of one abstract delay unit on live
+	// engines (0 = livenet.DefaultUnit, one millisecond).
+	Unit time.Duration
+	// Unsafe skips the resilience-bound validation of (n, k).
+	Unsafe bool
+	// Metrics, when non-nil, receives run accounting: "runtime." counters
+	// from the simulator, "livenet." (and "net." for TCP) from the live
+	// engines.
+	Metrics *MetricsRegistry
+}
+
+// Outcome is the engine-independent view of one scenario execution. The
+// engine-specific report (Sim or Live) carries the full detail.
+type Outcome struct {
+	// Engine is the engine that produced this outcome.
+	Engine Engine
+	// Decisions maps every correct process that decided to its value.
+	Decisions map[ID]Value
+	// DecisionPhase maps deciders to the phase in which they decided.
+	DecisionPhase map[ID]Phase
+	// Agreement reports whether all decisions carry the same value.
+	Agreement bool
+	// Value is the common decision when Agreement holds.
+	Value Value
+	// AllDecided reports whether every correct (non-Byzantine,
+	// non-crash-planned) process decided.
+	AllDecided bool
+	// Crashed lists processes that died under the fault plan.
+	Crashed []ID
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Sim is the simulator's full result (EngineSim only).
+	Sim *Result
+	// Live is the live engine's full report (live engines only).
+	Live *ClusterReport
+}
+
+// RunScenario executes one scenario on the chosen engine. The context
+// bounds live runs (the simulator ignores it; bound simulated runs with
+// MaxEvents/MaxSimTime via Simulate directly). On a live run that ends
+// before every correct process decides, the partial Outcome is returned
+// alongside the error.
+func RunScenario(ctx context.Context, engine Engine, sc Scenario) (*Outcome, error) {
+	if !sc.Protocol.Valid() {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(sc.Protocol))
+	}
+	switch engine {
+	case EngineSim:
+		res, err := Simulate(sc.Protocol, sc.N, sc.K, sc.Inputs, SimOptions{
+			Seed:        sc.Seed,
+			Scheduler:   sc.Scheduler,
+			Policy:      sc.Policy,
+			Crashes:     sc.Crashes,
+			Adversaries: sc.Adversaries,
+			Unsafe:      sc.Unsafe,
+			Metrics:     sc.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{
+			Engine:        EngineSim,
+			Decisions:     res.Decisions,
+			DecisionPhase: res.DecisionPhase,
+			Agreement:     res.Agreement,
+			Value:         res.Value,
+			AllDecided:    res.AllDecided,
+			Crashed:       res.Crashed,
+			Elapsed:       res.WallClock,
+			Sim:           res,
+		}, nil
+	case EngineMem, EngineJitter, EngineTCP:
+		cluster, err := newScenarioCluster(engine, sc)
+		if err != nil {
+			return nil, err
+		}
+		rep, runErr := cluster.Run(ctx)
+		if rep == nil {
+			return nil, runErr
+		}
+		out := &Outcome{
+			Engine:        engine,
+			Decisions:     rep.DecisionMap(),
+			DecisionPhase: make(map[ID]Phase, len(rep.Decisions)),
+			Agreement:     rep.Agreement,
+			Value:         rep.Value,
+			AllDecided:    rep.AllDecided,
+			Crashed:       rep.Crashed,
+			Elapsed:       rep.Elapsed,
+			Live:          rep,
+		}
+		for _, d := range rep.Decisions {
+			out.DecisionPhase[d.Process] = d.Phase
+		}
+		return out, runErr
+	default:
+		return nil, fmt.Errorf("resilient: unknown engine %d", int(engine))
+	}
+}
+
+// newScenarioCluster assembles a live cluster for the scenario: machines
+// (honest or strategy-wrapped), transport, fault plan, and link policy.
+func newScenarioCluster(engine Engine, sc Scenario) (*livenet.Cluster, error) {
+	machines, err := liveMachines(sc)
+	if err != nil {
+		return nil, err
+	}
+	var cluster *livenet.Cluster
+	switch engine {
+	case EngineMem:
+		cluster, err = livenet.NewMemCluster(machines)
+	case EngineJitter:
+		maxDelay := sc.Unit
+		if maxDelay <= 0 {
+			maxDelay = livenet.DefaultUnit
+		}
+		cluster, err = livenet.NewJitterCluster(machines, maxDelay, sc.Seed)
+	case EngineTCP:
+		var conns []transport.Conn
+		conns, err = tcpMeshConns(sc.N, sc.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err = livenet.NewCluster(machines, conns)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	cluster.Metrics = sc.Metrics
+	cluster.Crashes = faults.Plan(sc.Crashes)
+	cluster.Policy = sc.Policy
+	cluster.Unit = sc.Unit
+	cluster.Seed = sc.Seed
+	if len(sc.Adversaries) > 0 {
+		cluster.Byzantine = make(map[msg.ID]bool, len(sc.Adversaries))
+		for id := range sc.Adversaries {
+			cluster.Byzantine[id] = true
+		}
+	}
+	return cluster, nil
+}
+
+// liveMachines builds the scenario's machines for a live engine by reusing
+// the simulator's spawner (honest machines, Unsafe variants, and
+// strategy-wrapped adversaries) with a synthesized spawn context: a seeded
+// per-process RNG, no trace sink, and -- crucially -- no world view, which
+// is why the omniscient StrategyBalancer is rejected up front.
+func liveMachines(sc Scenario) ([]core.Machine, error) {
+	if len(sc.Inputs) != sc.N {
+		return nil, fmt.Errorf("resilient: %d inputs for %d processes", len(sc.Inputs), sc.N)
+	}
+	if !sc.Unsafe && sc.K > sc.Protocol.MaxFaults(sc.N) {
+		return nil, fmt.Errorf("resilient: k=%d exceeds %v bound %d at n=%d",
+			sc.K, sc.Protocol, sc.Protocol.MaxFaults(sc.N), sc.N)
+	}
+	for id, strat := range sc.Adversaries {
+		if int(id) < 0 || int(id) >= sc.N {
+			return nil, fmt.Errorf("resilient: adversary %d outside 0..%d", id, sc.N-1)
+		}
+		if strat == StrategyBalancer {
+			return nil, fmt.Errorf("resilient: %v needs the simulator's omniscient world view; run it on EngineSim", strat)
+		}
+	}
+	spawner, err := spawnerFor(sc.Protocol, SimOptions{
+		Seed:        sc.Seed,
+		Adversaries: sc.Adversaries,
+		Unsafe:      sc.Unsafe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]core.Machine, sc.N)
+	for i := 0; i < sc.N; i++ {
+		id := ID(i)
+		_, byz := sc.Adversaries[id]
+		m, err := spawner(runtime.SpawnContext{
+			Config:    core.Config{N: sc.N, K: sc.K, Self: id, Input: sc.Inputs[i]},
+			RNG:       newRand(sc.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15),
+			Byzantine: byz,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("resilient: build p%d: %w", i, err)
+		}
+		machines[i] = m
+	}
+	return machines, nil
+}

@@ -1,0 +1,268 @@
+package resilient
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+
+	"resilient/internal/adversary"
+)
+
+func unanimous(n int, v Value) []Value {
+	inputs := make([]Value, n)
+	for i := range inputs {
+		inputs[i] = v
+	}
+	return inputs
+}
+
+// runParity executes one scenario on every engine in the matrix and checks
+// the engine-independent outcome is identical: every correct process
+// decides, all decisions agree, and -- because the inputs are unanimous --
+// validity pins the decided value, so it must match across engines even
+// though the schedules differ wildly.
+func runParity(t *testing.T, sc Scenario, wantValue Value, wantDeciders int, wantCrashed []ID) {
+	t.Helper()
+	for _, engine := range []Engine{EngineSim, EngineMem, EngineTCP} {
+		t.Run(engine.String(), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			out, err := RunScenario(ctx, engine, sc)
+			if err != nil {
+				t.Fatalf("%v: %v", engine, err)
+			}
+			if !out.AllDecided {
+				t.Fatalf("%v: not all correct processes decided: %+v", engine, out.Decisions)
+			}
+			if !out.Agreement {
+				t.Fatalf("%v: disagreement: %+v", engine, out.Decisions)
+			}
+			if out.Value != wantValue {
+				t.Fatalf("%v: decided %d, want %d", engine, out.Value, wantValue)
+			}
+			if len(out.Decisions) != wantDeciders {
+				t.Fatalf("%v: %d deciders, want %d", engine, len(out.Decisions), wantDeciders)
+			}
+			for id, v := range out.Decisions {
+				if v != wantValue {
+					t.Fatalf("%v: p%d decided %d, want %d", engine, id, v, wantValue)
+				}
+			}
+			crashed := slices.Clone(out.Crashed)
+			slices.Sort(crashed)
+			if !slices.Equal(crashed, wantCrashed) {
+				t.Fatalf("%v: crashed %v, want %v", engine, crashed, wantCrashed)
+			}
+		})
+	}
+}
+
+// TestEngineParityFailStop runs one fail-stop scenario -- a mid-broadcast
+// death and an initially-dead process, k faults in total -- on the
+// simulator, the in-memory engine, and the TCP mesh.
+func TestEngineParityFailStop(t *testing.T) {
+	runParity(t, Scenario{
+		Protocol: ProtocolFailStop,
+		N:        7, K: 3,
+		Inputs: unanimous(7, V1),
+		Seed:   11,
+		Crashes: map[ID]Crash{
+			5: {Process: 5, Phase: 1, AfterSends: 3},
+			6: {Process: 6, Phase: 0, AfterSends: 0},
+		},
+	}, V1, 5, []ID{5, 6})
+}
+
+// TestEngineParityMalicious runs one malicious scenario -- a constant liar
+// plus a fail-stop crash, k faults in total -- on all three engines.
+func TestEngineParityMalicious(t *testing.T) {
+	runParity(t, Scenario{
+		Protocol: ProtocolMalicious,
+		N:        7, K: 2,
+		Inputs: unanimous(7, V1),
+		Seed:   5,
+		Adversaries: map[ID]Strategy{
+			5: StrategyLiar0,
+		},
+		Crashes: map[ID]Crash{
+			6: {Process: 6, Phase: 0, AfterSends: 0},
+		},
+	}, V1, 5, []ID{6})
+}
+
+// TestTCPCrashAtPhasePlan drives a full crash-at-phase plan over real
+// sockets: k of n processes die at planned points (one initially dead, one
+// mid-broadcast, one at a phase boundary) and the n-k survivors, a strict
+// majority, still decide.
+func TestTCPCrashAtPhasePlan(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := RunScenario(ctx, EngineTCP, Scenario{
+		Protocol: ProtocolFailStop,
+		N:        7, K: 3,
+		Inputs: []Value{0, 1, 0, 1, 0, 1, 0},
+		Seed:   3,
+		Crashes: map[ID]Crash{
+			2: {Process: 2, Phase: 1, AfterSends: 2},
+			4: {Process: 4, Phase: 2, AfterSends: 0},
+			6: {Process: 6, Phase: 0, AfterSends: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllDecided || !out.Agreement {
+		t.Fatalf("survivors failed to decide: %+v", out)
+	}
+	if want := []ID{2, 4, 6}; !slices.Equal(out.Crashed, want) {
+		t.Fatalf("crashed %v, want %v", out.Crashed, want)
+	}
+	if len(out.Decisions) != 4 {
+		t.Fatalf("%d deciders, want 4", len(out.Decisions))
+	}
+	for _, id := range []ID{2, 4, 6} {
+		if _, ok := out.Decisions[id]; ok {
+			t.Fatalf("crashed p%d recorded a decision", id)
+		}
+	}
+}
+
+// TestBalancerIsSimOnly: the omniscient balancer strategy needs the
+// simulator's world view; live engines must reject it up front instead of
+// crashing mid-run.
+func TestBalancerIsSimOnly(t *testing.T) {
+	ctx := context.Background()
+	_, err := RunScenario(ctx, EngineMem, Scenario{
+		Protocol: ProtocolMalicious,
+		N:        7, K: 2,
+		Inputs:      unanimous(7, V1),
+		Adversaries: map[ID]Strategy{6: StrategyBalancer},
+	})
+	if err == nil {
+		t.Fatal("balancer accepted on a live engine")
+	}
+	// The same scenario must still run on the simulator.
+	if _, err := RunScenario(ctx, EngineSim, Scenario{
+		Protocol: ProtocolMalicious,
+		N:        7, K: 2,
+		Inputs:      unanimous(7, V1),
+		Adversaries: map[ID]Strategy{6: StrategyBalancer},
+	}); err != nil {
+		t.Fatalf("balancer rejected on the simulator: %v", err)
+	}
+}
+
+// TestParseEngine pins the flag-facing engine names.
+func TestParseEngine(t *testing.T) {
+	for _, want := range []Engine{EngineSim, EngineMem, EngineJitter, EngineTCP} {
+		got, err := ParseEngine(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("quantum"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if EngineSim.Live() {
+		t.Error("sim reported live")
+	}
+	for _, e := range []Engine{EngineMem, EngineJitter, EngineTCP} {
+		if !e.Live() {
+			t.Errorf("%v not reported live", e)
+		}
+	}
+}
+
+// TestBridgeCoalitionEnablesBothSides is the Theorem 3 schedule shape as an
+// end-to-end run: groups S = {0..3} and T = {2..6} overlap in a coalition
+// {2, 3} that talks to both sides. Each side has at least n-k members, so
+// with the coalition bridging them every process reaches its witness quorum
+// and decides -- under a schedule where direct S-only/T-only traffic never
+// flows.
+func TestBridgeCoalitionEnablesBothSides(t *testing.T) {
+	res, err := Simulate(ProtocolFailStop, 7, 3, unanimous(7, V1), SimOptions{
+		Seed:       3,
+		Scheduler:  adversary.Bridge{GroupOf: adversary.Overlap(2, 4)},
+		MaxSimTime: 1e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided || !res.Agreement || res.Value != V1 {
+		t.Fatalf("bridged run failed: allDecided=%v agreement=%v value=%d stalled=%v",
+			res.AllDecided, res.Agreement, res.Value, res.Stalled)
+	}
+}
+
+// TestPartitionStallsWhereBridgeDecides is the control for the bridge test:
+// the same split without the coalition (a hard Halves(2) partition) leaves
+// the small side short of its quorum, so the run cannot complete.
+func TestPartitionStallsWhereBridgeDecides(t *testing.T) {
+	res, err := Simulate(ProtocolFailStop, 7, 3, unanimous(7, V1), SimOptions{
+		Seed:       3,
+		Scheduler:  adversary.Partition{GroupOf: adversary.Halves(2)},
+		MaxSimTime: 1e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDecided {
+		t.Fatal("hard-partitioned run decided everywhere")
+	}
+	if res.Stalled != TimeHorizon {
+		t.Fatalf("stalled = %v, want %v (cross traffic parked beyond the horizon)", res.Stalled, TimeHorizon)
+	}
+}
+
+// TestPartitionPolicyDrainsInsteadOfHorizonChase: expressed as a link
+// policy, the same partition drops cross traffic outright, so the simulator
+// drains its queue and stops instead of chasing a 1e9-unit delivery
+// horizon; the drops are accounted.
+func TestPartitionPolicyDrainsInsteadOfHorizonChase(t *testing.T) {
+	res, err := Simulate(ProtocolFailStop, 7, 3, unanimous(7, V1), SimOptions{
+		Seed:   3,
+		Policy: PartitionPolicy{GroupOf: HalvesPartition(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDecided {
+		t.Fatal("partition-policy run decided everywhere")
+	}
+	if res.Stalled != QueueDrained {
+		t.Fatalf("stalled = %v, want %v", res.Stalled, QueueDrained)
+	}
+	if res.MessagesDropped == 0 {
+		t.Fatal("no drops recorded under a partition policy")
+	}
+	// Dropped messages never enter the queue, so they can account for at
+	// most the sent/delivered gap (the rest reached halted machines).
+	if res.MessagesDropped > res.MessagesSent-res.MessagesDelivered {
+		t.Fatalf("dropped %d exceeds sent %d - delivered %d",
+			res.MessagesDropped, res.MessagesSent, res.MessagesDelivered)
+	}
+}
+
+// TestScenarioSimMatchesSimulate: EngineSim through the scenario API is the
+// same deterministic execution as calling Simulate directly.
+func TestScenarioSimMatchesSimulate(t *testing.T) {
+	sc := Scenario{
+		Protocol: ProtocolFailStop,
+		N:        7, K: 3,
+		Inputs: []Value{0, 1, 0, 1, 0, 1, 0},
+		Seed:   42,
+	}
+	out, err := RunScenario(context.Background(), EngineSim, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sc.Protocol, sc.N, sc.K, sc.Inputs, SimOptions{Seed: sc.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sim.SimTime != res.SimTime || out.Sim.MessagesSent != res.MessagesSent ||
+		out.Value != res.Value || out.Sim.Events != res.Events {
+		t.Fatalf("scenario sim diverged from Simulate: %+v vs %+v", out.Sim, res)
+	}
+}

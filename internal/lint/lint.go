@@ -103,6 +103,7 @@ func ProjectConfig(dir string) Config {
 		mod + "/internal/sweep",
 		mod + "/internal/experiments",
 		mod + "/internal/sched",
+		mod + "/internal/policy",
 	}
 	return Config{
 		Dir:               dir,
@@ -112,7 +113,11 @@ func ProjectConfig(dir string) Config {
 			mod + "/internal/mc",
 		},
 		MetricsPkg: mod + "/internal/metrics",
-		HotIfaces:  []string{mod + "/internal/core.Machine"},
+		HotIfaces: []string{
+			mod + "/internal/core.Machine",
+			// Link policies run once per message send on every engine.
+			mod + "/internal/policy.LinkPolicy",
+		},
 		HotFuncs: []string{
 			// The discrete-event dispatch loop: deliver/dispatch/enqueue and
 			// the event queue follow by static calls.

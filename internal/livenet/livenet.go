@@ -4,18 +4,29 @@
 // global event queue and no simulated clock -- asynchrony comes from real
 // goroutine scheduling and real sockets -- so it demonstrates the protocols
 // in the deployment shape a downstream user would run them in.
+//
+// The engine composes the shared fault/delivery layer of internal/policy:
+// a faults.Plan becomes per-process FaultHarnesses (crash-at-phase,
+// initially-dead, mid-broadcast send suppression -- the same semantics the
+// simulator applies) and a policy.LinkPolicy becomes per-connection delay,
+// loss, and partition decisions interpreted in wall-clock time. The same
+// (protocol, n, k, faults, policy, seed) scenario therefore runs unchanged
+// on the simulator and on the live engines.
 package livenet
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
 	"resilient/internal/core"
+	"resilient/internal/faults"
 	"resilient/internal/metrics"
 	"resilient/internal/msg"
+	"resilient/internal/policy"
 	"resilient/internal/transport"
 )
 
@@ -25,6 +36,7 @@ type liveMetrics struct {
 	sent         *metrics.Counter
 	received     *metrics.Counter
 	decisions    *metrics.Counter
+	crashes      *metrics.Counter
 	runs         *metrics.Counter
 	decisionSecs *metrics.Histogram
 	runSecs      *metrics.Histogram
@@ -39,6 +51,7 @@ func newLiveMetrics(reg *metrics.Registry) liveMetrics {
 		sent:         m.Counter("messages_sent"),
 		received:     m.Counter("messages_received"),
 		decisions:    m.Counter("decisions"),
+		crashes:      m.Counter("crashes"),
 		runs:         m.Counter("runs"),
 		decisionSecs: m.Histogram("decision_wall_seconds", metrics.TimeBuckets()),
 		runSecs:      m.Histogram("run_wall_seconds", metrics.TimeBuckets()),
@@ -53,6 +66,10 @@ type Decision struct {
 	At      time.Time
 }
 
+// errCrashed is Driver-internal: a send was suppressed because the fault
+// harness reached its planned crash point. It never escapes Run.
+var errCrashed = errors.New("livenet: process crashed by fault plan")
+
 // Driver runs one machine against one endpoint.
 type Driver struct {
 	machine core.Machine
@@ -61,6 +78,15 @@ type Driver struct {
 	met     liveMetrics
 	// OnDecide, if set, is invoked exactly once when the machine decides.
 	OnDecide func(Decision)
+	// Harness, when non-nil, applies a fail-stop crash plan to this
+	// process: the driver consults it before every individual send and
+	// after every machine step, exactly like the simulator's dispatch loop.
+	Harness *policy.FaultHarness
+	// OnCrash, if set, is invoked exactly once when the harness kills the
+	// process.
+	OnCrash func(msg.ID)
+
+	crashNoted bool
 }
 
 // NewDriver returns a driver for machine over conn in an n-process system.
@@ -69,13 +95,25 @@ func NewDriver(machine core.Machine, conn transport.Conn, n int) *Driver {
 }
 
 // Run starts the machine and processes messages until the machine halts,
-// the context is cancelled, or the connection closes. It returns nil on a
-// clean halt or connection close and the underlying error otherwise.
+// dies under its fault plan, the context is cancelled, or the connection
+// closes. It returns nil on a clean halt, crash, or connection close and
+// the underlying error otherwise.
 func (d *Driver) Run(ctx context.Context) error {
-	if err := d.sendAll(d.machine.Start()); err != nil {
+	if h := d.Harness; h != nil {
+		// An initially-dead process (phase 0, zero budget) dies here; its
+		// machine still takes its Start step -- as in the simulator -- but
+		// every send is suppressed.
+		h.CheckPhase()
+	}
+	err := d.sendAll(d.machine.Start())
+	d.noteDecision()
+	if d.dead() {
+		d.noteCrash()
+		return nil
+	}
+	if err != nil {
 		return err
 	}
-	d.noteDecision()
 	for !d.machine.Halted() {
 		if err := ctx.Err(); err != nil {
 			return nil // cancelled: treated as a clean shutdown
@@ -88,12 +126,28 @@ func (d *Driver) Run(ctx context.Context) error {
 			return fmt.Errorf("p%d recv: %w", d.machine.ID(), err)
 		}
 		d.met.received.Inc()
-		if err := d.sendAll(d.machine.OnMessage(in)); err != nil {
-			return err
+		outs := d.machine.OnMessage(in)
+		if h := d.Harness; h != nil {
+			h.CheckPhase() // phase advance may reach the planned crash point
 		}
-		d.noteDecision()
+		var sendErr error
+		if !d.dead() {
+			sendErr = d.sendAll(outs)
+		}
+		d.noteDecision() // a process may decide in the step it dies
+		if d.dead() {
+			d.noteCrash()
+			return nil
+		}
+		if sendErr != nil {
+			return sendErr
+		}
 	}
 	return nil
+}
+
+func (d *Driver) dead() bool {
+	return d.Harness != nil && d.Harness.Dead()
 }
 
 func (d *Driver) sendAll(outs []core.Outbound) error {
@@ -114,6 +168,9 @@ func (d *Driver) sendAll(outs []core.Outbound) error {
 }
 
 func (d *Driver) send(to msg.ID, m msg.Message) error {
+	if d.Harness != nil && !d.Harness.AllowSend() {
+		return errCrashed // mid-broadcast death: earlier sends stand
+	}
 	err := d.conn.Send(to, m)
 	if err == nil || errors.Is(err, transport.ErrClosed) {
 		d.met.sent.Inc()
@@ -138,16 +195,44 @@ func (d *Driver) noteDecision() {
 	}
 }
 
-// Report summarizes a cluster run.
+func (d *Driver) noteCrash() {
+	if d.crashNoted {
+		return
+	}
+	d.crashNoted = true
+	d.met.crashes.Inc()
+	if d.OnCrash != nil {
+		d.OnCrash(d.machine.ID())
+	}
+}
+
+// Report summarizes a cluster run. Its shape mirrors runtime.Result so a
+// scenario's outcome reads the same from either engine.
 type Report struct {
 	// Decisions holds each process's decision, in decision order.
+	// Byzantine processes are excluded.
 	Decisions []Decision
 	// Agreement reports whether all decisions carry the same value.
 	Agreement bool
 	// Value is the common decision when Agreement holds.
 	Value msg.Value
+	// AllDecided reports whether every correct (non-Byzantine,
+	// non-crash-planned) process decided.
+	AllDecided bool
+	// Crashed lists the processes that died under the fault plan, in
+	// ascending order.
+	Crashed []msg.ID
 	// Elapsed is the wall-clock duration from start to the last decision.
 	Elapsed time.Duration
+}
+
+// DecisionMap returns the decisions keyed by process.
+func (r *Report) DecisionMap() map[msg.ID]msg.Value {
+	m := make(map[msg.ID]msg.Value, len(r.Decisions))
+	for _, d := range r.Decisions {
+		m[d.Process] = d.Value
+	}
+	return m
 }
 
 // Cluster runs n machines to decision over a shared in-memory message
@@ -159,6 +244,21 @@ type Cluster struct {
 	// Metrics, when non-nil, receives live-run accounting under the
 	// "livenet." prefix. Set it before calling Run.
 	Metrics *metrics.Registry
+	// Crashes is the fail-stop fault plan, applied through per-process
+	// FaultHarnesses with the same semantics as the simulator. Set it
+	// before calling Run.
+	Crashes faults.Plan
+	// Policy, when non-nil, decides per-link delivery (delay, loss,
+	// partition) in wall-clock time, one abstract unit = Unit.
+	Policy policy.LinkPolicy
+	// Unit is the wall-clock length of one abstract time unit for Policy
+	// delays (0 = DefaultUnit).
+	Unit time.Duration
+	// Seed seeds the per-connection policy RNGs.
+	Seed uint64
+	// Byzantine marks processes whose machines play an adversary role;
+	// they are excluded from decision accounting, like in the simulator.
+	Byzantine map[msg.ID]bool
 }
 
 // NewMemCluster wires the given machines over a fresh in-memory message
@@ -211,13 +311,25 @@ func NewCluster(machines []core.Machine, conns []transport.Conn) (*Cluster, erro
 	return &Cluster{machines: machines, conns: conns}, nil
 }
 
-// Run drives every machine concurrently until all have decided or the
-// context expires. It returns the collected report; a context expiry with
-// missing decisions is reported via the error.
+// Run drives every machine concurrently until all correct processes have
+// decided or the context expires. It returns the collected report; a
+// context expiry with missing decisions is reported via the error.
 func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	n := len(c.machines)
+	if err := c.Crashes.Validate(n); err != nil {
+		return nil, err
+	}
 	start := time.Now()
+	conns := c.conns
+	if c.Policy != nil {
+		conns = make([]transport.Conn, n)
+		for i, inner := range c.conns {
+			conns[i] = newPolicyConn(inner, c.Policy, c.Unit, start,
+				c.Seed^uint64(i+1)*0xbf58476d1ce4e5b9)
+		}
+	}
 	decCh := make(chan Decision, n)
+	crashCh := make(chan msg.ID, n)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if c.cleanup != nil {
@@ -227,10 +339,25 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	met := newLiveMetrics(c.Metrics)
 	var wg sync.WaitGroup
 	errCh := make(chan error, n)
+	// pending tracks the correct processes whose decisions the run waits
+	// for: crash-planned and Byzantine processes are excluded, mirroring
+	// the simulator's mustDecide accounting.
+	awaited := make([]bool, n)
+	pending := 0
 	for i := range c.machines {
-		d := NewDriver(c.machines[i], c.conns[i], n)
+		id := msg.ID(i)
+		_, planned := c.Crashes[id]
+		if !planned && !c.Byzantine[id] {
+			awaited[i] = true
+			pending++
+		}
+		d := NewDriver(c.machines[i], conns[i], n)
 		d.met = met
+		if len(c.Crashes) > 0 {
+			d.Harness = policy.NewFaultHarness(c.machines[i], c.Crashes)
+		}
 		d.OnDecide = func(dec Decision) { decCh <- dec }
+		d.OnCrash = func(id msg.ID) { crashCh <- id }
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -240,39 +367,61 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 		}()
 	}
 
+	// Close every connection the moment the run context ends -- whether by
+	// the normal all-decided cancel, a driver error, or the caller's
+	// cancellation/deadline -- so no driver can hang inside conn.Recv
+	// after cancellation.
+	go func() {
+		<-runCtx.Done()
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+
 	report := &Report{}
 	var runErr error
+	record := func(dec Decision) {
+		if c.Byzantine[dec.Process] {
+			return // an adversary's "decision" carries no weight
+		}
+		report.Decisions = append(report.Decisions, dec)
+		met.decisions.Inc()
+		met.decisionSecs.Observe(dec.At.Sub(start).Seconds())
+		if awaited[dec.Process] {
+			awaited[dec.Process] = false
+			pending--
+		}
+	}
 collect:
-	for len(report.Decisions) < n {
+	for pending > 0 {
 		select {
 		case dec := <-decCh:
-			report.Decisions = append(report.Decisions, dec)
-			met.decisions.Inc()
-			met.decisionSecs.Observe(dec.At.Sub(start).Seconds())
+			record(dec)
+		case id := <-crashCh:
+			report.Crashed = append(report.Crashed, id)
 		case err := <-errCh:
 			runErr = err
 			break collect
 		case <-ctx.Done():
 			runErr = fmt.Errorf("livenet: %d/%d decisions before deadline: %w",
-				len(report.Decisions), n, ctx.Err())
+				len(report.Decisions), len(report.Decisions)+pending, ctx.Err())
 			break collect
 		}
 	}
 	report.Elapsed = time.Since(start)
 
-	// Shut down: cancel, close connections to unblock receivers, wait.
+	// Shut down: cancel (the watcher closes the connections, unblocking
+	// every receiver), then wait for the drivers.
 	cancel()
-	for _, conn := range c.conns {
-		conn.Close()
-	}
 	wg.Wait()
-	// Drain any decisions that raced with shutdown.
+	// Drain decisions and crashes that raced with shutdown.
 	for {
 		select {
 		case dec := <-decCh:
-			report.Decisions = append(report.Decisions, dec)
-			met.decisions.Inc()
-			met.decisionSecs.Observe(dec.At.Sub(start).Seconds())
+			record(dec)
+			continue
+		case id := <-crashCh:
+			report.Crashed = append(report.Crashed, id)
 			continue
 		default:
 		}
@@ -281,6 +430,8 @@ collect:
 	met.runs.Inc()
 	met.runSecs.Observe(report.Elapsed.Seconds())
 
+	report.AllDecided = pending == 0
+	slices.Sort(report.Crashed)
 	report.Agreement = true
 	for i, dec := range report.Decisions {
 		if i == 0 {

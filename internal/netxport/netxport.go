@@ -2,9 +2,16 @@
 // n processes connected in a full mesh over loopback (or any reachable
 // addresses), with length-prefixed binary frames (internal/msg codec).
 //
-// Each endpoint listens on its own address. Connections are established
-// lazily on first send and identified by a fixed-size hello frame carrying
-// the dialer's process id. Inbound messages are stamped with the hello
+// Each endpoint listens on its own address. Outbound connections are
+// established lazily on first send, one per peer, each with its own lock:
+// a slow, unreachable, or retry-storming peer never blocks sends to the
+// others. A connection whose write fails (or exceeds the write deadline) is
+// evicted and redialed -- with a backoff that grows with consecutive
+// failures -- on the next send, so one broken socket does not poison the
+// peer entry forever.
+//
+// Connections are identified by a fixed-size hello frame carrying the
+// dialer's process id. Inbound messages are stamped with the hello
 // identity, never the message's claimed sender, so impersonation requires
 // owning the peer's listening socket -- a stand-in for the paper's
 // requirement that "the message system must provide a way for correct
@@ -29,12 +36,17 @@ import (
 
 const maxFrame = 1 << 20
 
-// Dial retry policy: a freshly started cluster races listener startup
+// Dial and write policy: a freshly started cluster races listener startup
 // against first sends, so transient dial failures are expected and retried
-// with a short backoff before surfacing an error.
+// with a short backoff before surfacing an error. Repeated failures across
+// Send calls widen the backoff up to maxDialBackoff; a successful dial or
+// write resets it. Writes carry a deadline so a peer that stops reading
+// cannot wedge a sender forever.
 const (
-	dialAttempts = 3
-	dialBackoff  = 5 * time.Millisecond
+	dialAttempts        = 3
+	dialBackoff         = 5 * time.Millisecond
+	maxDialBackoff      = 250 * time.Millisecond
+	defaultWriteTimeout = 10 * time.Second
 )
 
 // netMetrics holds the endpoint's instrument handles; all fields are nil
@@ -49,6 +61,7 @@ type netMetrics struct {
 	dialErrors   *metrics.Counter
 	decodeErrors *metrics.Counter
 	localFrames  *metrics.Counter
+	evictions    *metrics.Counter
 }
 
 func newNetMetrics(reg *metrics.Registry) *netMetrics {
@@ -66,7 +79,17 @@ func newNetMetrics(reg *metrics.Registry) *netMetrics {
 		dialErrors:   m.Counter("dial_errors"),
 		decodeErrors: m.Counter("decode_errors"),
 		localFrames:  m.Counter("local_frames"),
+		evictions:    m.Counter("conn_evictions"),
 	}
+}
+
+// peerLink is one peer's outbound connection state. Its mutex serializes
+// writes to that peer only; dialing (including its backoff sleeps) happens
+// under the link lock, never under the endpoint lock.
+type peerLink struct {
+	mu    sync.Mutex
+	conn  net.Conn // nil when down; established lazily, evicted on failure
+	fails int      // consecutive dial/write failures, drives the backoff
 }
 
 // Endpoint is one process's TCP endpoint. It implements transport.Conn.
@@ -76,8 +99,9 @@ type Endpoint struct {
 	ln    net.Listener
 
 	mu       sync.Mutex
-	peers    map[msg.ID]net.Conn // outbound connections, lazily dialed
-	accepted []net.Conn          // inbound connections, closed on shutdown
+	links    map[msg.ID]*peerLink // per-peer outbound state
+	accepted []net.Conn           // inbound connections, closed on shutdown
+	dialed   []net.Conn           // every outbound conn, closed on shutdown
 
 	inbox chan inboundMsg
 	done  chan struct{}
@@ -86,6 +110,9 @@ type Endpoint struct {
 	// met is swapped atomically so SetMetrics races cleanly with the
 	// accept/read goroutines; the pointer is never nil.
 	met atomic.Pointer[netMetrics]
+
+	// writeTimeout is the per-write deadline in nanoseconds (0 disables).
+	writeTimeout atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -111,22 +138,29 @@ func Listen(id msg.ID, addrs []string) (*Endpoint, error) {
 		id:    id,
 		addrs: append([]string(nil), addrs...),
 		ln:    ln,
-		peers: make(map[msg.ID]net.Conn),
+		links: make(map[msg.ID]*peerLink),
 		inbox: make(chan inboundMsg, 1024),
 		done:  make(chan struct{}),
 	}
 	e.addrs[id] = ln.Addr().String()
 	e.met.Store(newNetMetrics(nil))
+	e.writeTimeout.Store(int64(defaultWriteTimeout))
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
 }
 
 // SetMetrics attaches a metrics registry; subsequent traffic is accounted
-// under the "net." prefix (bytes, frames, dials, retries). Safe to call at
-// any time, including concurrently with traffic; nil detaches.
+// under the "net." prefix (bytes, frames, dials, retries, evictions). Safe
+// to call at any time, including concurrently with traffic; nil detaches.
 func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
 	e.met.Store(newNetMetrics(reg))
+}
+
+// SetWriteTimeout changes the per-write deadline (0 disables deadlines).
+// Safe to call concurrently with traffic.
+func (e *Endpoint) SetWriteTimeout(d time.Duration) {
+	e.writeTimeout.Store(int64(d))
 }
 
 // Addr returns the endpoint's actual listen address.
@@ -142,11 +176,18 @@ func (e *Endpoint) SetPeerAddr(id msg.ID, addr string) {
 	}
 }
 
+func (e *Endpoint) peerAddr(id msg.ID) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addrs[id]
+}
+
 // ID implements transport.Conn.
 func (e *Endpoint) ID() msg.ID { return e.id }
 
-// Send implements transport.Conn: it lazily dials the destination, then
-// writes one frame.
+// Send implements transport.Conn: it lazily dials the destination if its
+// link is down, then writes one frame under that link's lock. A failed
+// write evicts the connection so the next Send redials.
 func (e *Endpoint) Send(to msg.ID, m msg.Message) error {
 	if to < 0 || int(to) >= len(e.addrs) {
 		return fmt.Errorf("netxport: destination %d outside address table", to)
@@ -163,33 +204,79 @@ func (e *Endpoint) Send(to msg.ID, m msg.Message) error {
 			return transport.ErrClosed
 		}
 	}
-	conn, err := e.peer(to)
+	l := e.link(to)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conn, err := e.ensure(l, to)
 	if err != nil {
 		return err
 	}
 	frame := msg.Encode(m)
 	var lenbuf [4]byte
 	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(frame)))
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, err := conn.Write(lenbuf[:]); err != nil {
+	if err := e.write(conn, lenbuf[:]); err != nil {
+		e.evict(l, conn)
 		return fmt.Errorf("netxport: write to p%d: %w", to, err)
 	}
-	if _, err := conn.Write(frame); err != nil {
+	if err := e.write(conn, frame); err != nil {
+		e.evict(l, conn)
 		return fmt.Errorf("netxport: write to p%d: %w", to, err)
 	}
+	l.fails = 0
 	met.framesSent.Inc()
 	met.bytesSent.Add(int64(len(lenbuf) + len(frame)))
 	return nil
 }
 
-func (e *Endpoint) peer(to msg.ID) (net.Conn, error) {
+// link returns (creating if needed) the outbound state for a peer. Only the
+// map access holds the endpoint lock; dialing and writing hold the link
+// lock alone.
+func (e *Endpoint) link(to msg.ID) *peerLink {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c, ok := e.peers[to]; ok {
-		return c, nil
+	l, ok := e.links[to]
+	if !ok {
+		l = &peerLink{}
+		e.links[to] = l
+	}
+	return l
+}
+
+// write performs one deadline-bounded write.
+func (e *Endpoint) write(conn net.Conn, b []byte) error {
+	if d := time.Duration(e.writeTimeout.Load()); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+// evict drops a link's broken connection so the next Send redials instead
+// of reusing a poisoned socket. Called with the link lock held.
+func (e *Endpoint) evict(l *peerLink, conn net.Conn) {
+	conn.Close()
+	if l.conn == conn {
+		l.conn = nil
+	}
+	l.fails++
+	e.met.Load().evictions.Inc()
+}
+
+// ensure returns the link's live connection, dialing with retries if it is
+// down. The backoff between attempts starts at dialBackoff and doubles both
+// within a call and across consecutive failed calls (capped at
+// maxDialBackoff); sleeps abort promptly when the endpoint closes. Called
+// with the link lock held -- and deliberately NOT the endpoint lock, so a
+// retry storm toward one peer cannot stall senders to any other peer.
+func (e *Endpoint) ensure(l *peerLink, to msg.ID) (net.Conn, error) {
+	if l.conn != nil {
+		return l.conn, nil
 	}
 	met := e.met.Load()
+	base := dialBackoff << min(l.fails, 6)
+	if base > maxDialBackoff {
+		base = maxDialBackoff
+	}
 	var (
 		c   net.Conn
 		err error
@@ -197,25 +284,39 @@ func (e *Endpoint) peer(to msg.ID) (net.Conn, error) {
 	for attempt := 0; attempt < dialAttempts; attempt++ {
 		if attempt > 0 {
 			met.dialRetries.Inc()
-			time.Sleep(dialBackoff << (attempt - 1))
+			d := base << (attempt - 1)
+			if d > maxDialBackoff {
+				d = maxDialBackoff
+			}
+			select {
+			case <-time.After(d):
+			case <-e.done:
+				return nil, transport.ErrClosed
+			}
 		}
 		met.dials.Inc()
-		c, err = net.Dial("tcp", e.addrs[to])
+		c, err = net.Dial("tcp", e.peerAddr(to))
 		if err == nil {
 			break
 		}
 	}
 	if err != nil {
+		l.fails++
 		met.dialErrors.Inc()
-		return nil, fmt.Errorf("netxport: dial p%d at %s: %w", to, e.addrs[to], err)
+		return nil, fmt.Errorf("netxport: dial p%d at %s: %w", to, e.peerAddr(to), err)
 	}
 	var hello [4]byte
 	binary.BigEndian.PutUint32(hello[:], uint32(e.id))
-	if _, err := c.Write(hello[:]); err != nil {
+	if err := e.write(c, hello[:]); err != nil {
 		c.Close()
+		l.fails++
 		return nil, fmt.Errorf("netxport: hello to p%d: %w", to, err)
 	}
-	e.peers[to] = c
+	l.fails = 0
+	l.conn = c
+	e.mu.Lock()
+	e.dialed = append(e.dialed, c)
+	e.mu.Unlock()
 	return c, nil
 }
 
@@ -233,13 +334,17 @@ func (e *Endpoint) Recv() (msg.Message, error) {
 }
 
 // Close implements transport.Conn: it stops the accept loop and closes all
-// connections.
+// connections. It never takes a link lock, so it cannot deadlock against a
+// sender mid-dial or mid-write; closing the sockets (and the done channel)
+// unblocks those senders instead.
 func (e *Endpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
 		e.ln.Close()
 		e.mu.Lock()
-		for _, c := range e.peers {
+		// Every outbound conn ever dialed is tracked in dialed (eviction
+		// closes but does not untrack, and double-close is harmless).
+		for _, c := range e.dialed {
 			c.Close()
 		}
 		// Accepted connections must be closed too, or their readLoops

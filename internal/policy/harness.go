@@ -1,0 +1,61 @@
+package policy
+
+import (
+	"resilient/internal/core"
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+)
+
+// FaultHarness applies a fail-stop crash plan to one process: it pairs the
+// process's machine with its faults.Tracker so every engine runs the same
+// crash semantics -- death at a planned phase (even with no further sends),
+// initially-dead processes, and suppression of the sends past the planned
+// crash point, which kills a process in the middle of a broadcast.
+//
+// The harness is engine-neutral and single-threaded, like the machine it
+// wraps: the discrete-event runner consults it inside its dispatch loop and
+// a livenet driver consults it from the process's goroutine.
+type FaultHarness struct {
+	machine core.Machine
+	tracker *faults.Tracker
+}
+
+// NewFaultHarness wraps machine with its entry in plan; a machine absent
+// from the plan (or a nil plan) gets an inert harness that never kills it.
+func NewFaultHarness(machine core.Machine, plan faults.Plan) *FaultHarness {
+	return &FaultHarness{
+		machine: machine,
+		tracker: faults.NewTracker(plan, machine.ID()),
+	}
+}
+
+// Machine returns the wrapped machine.
+func (h *FaultHarness) Machine() core.Machine { return h.machine }
+
+// Dead reports whether the process has died under its plan.
+func (h *FaultHarness) Dead() bool { return h.tracker.Dead() }
+
+// Planned reports whether the process has a crash plan at all.
+func (h *FaultHarness) Planned() bool { return h.tracker.Planned() }
+
+// CheckPhase observes the machine's current phase, killing the process if
+// its planned crash point has been passed without sends (including the
+// initially-dead case, phase 0 after 0 sends). Engines call it after every
+// machine step, and once before Start for initially-dead processes.
+func (h *FaultHarness) CheckPhase() {
+	h.tracker.CheckPhase(h.machine.Phase())
+}
+
+// AllowSend gates one individual point-to-point send at the machine's
+// current phase; it returns false -- and the process is dead from then on --
+// when the planned crash point has been reached.
+func (h *FaultHarness) AllowSend() bool {
+	return h.tracker.AllowSend(h.machine.Phase())
+}
+
+// AllowSendAt is AllowSend with the phase snapshotted by the caller; the
+// discrete-event engine's dispatch loop reads the phase once per machine
+// step instead of once per send.
+func (h *FaultHarness) AllowSendAt(phase msg.Phase) bool {
+	return h.tracker.AllowSend(phase)
+}

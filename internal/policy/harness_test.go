@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"testing"
+
+	"resilient/internal/core"
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+)
+
+// phaseMachine is a minimal machine whose phase is set by the test.
+type phaseMachine struct {
+	id    msg.ID
+	phase msg.Phase
+}
+
+func (m *phaseMachine) ID() msg.ID                            { return m.id }
+func (m *phaseMachine) Start() []core.Outbound                { return nil }
+func (m *phaseMachine) OnMessage(msg.Message) []core.Outbound { return nil }
+func (m *phaseMachine) Decided() (msg.Value, bool)            { return 0, false }
+func (m *phaseMachine) Halted() bool                          { return false }
+func (m *phaseMachine) Phase() msg.Phase                      { return m.phase }
+
+func TestHarnessInertWithoutPlan(t *testing.T) {
+	m := &phaseMachine{id: 2}
+	h := NewFaultHarness(m, nil)
+	if h.Planned() {
+		t.Fatal("nil plan reported as planned")
+	}
+	for i := 0; i < 100; i++ {
+		if !h.AllowSend() {
+			t.Fatal("inert harness suppressed a send")
+		}
+	}
+	m.phase = 50
+	h.CheckPhase()
+	if h.Dead() {
+		t.Fatal("inert harness died")
+	}
+	if h.Machine() != m {
+		t.Fatal("Machine() lost the wrapped machine")
+	}
+}
+
+func TestHarnessInitiallyDead(t *testing.T) {
+	m := &phaseMachine{id: 1}
+	h := NewFaultHarness(m, faults.InitiallyDead(1))
+	if h.Dead() {
+		t.Fatal("dead before any observation")
+	}
+	h.CheckPhase() // phase 0, zero send budget: dies on first observation
+	if !h.Dead() {
+		t.Fatal("initially-dead process survived CheckPhase")
+	}
+	if h.AllowSend() {
+		t.Fatal("dead process allowed to send")
+	}
+}
+
+func TestHarnessCrashMidBroadcast(t *testing.T) {
+	m := &phaseMachine{id: 0}
+	plan := faults.Plan{0: {Process: 0, Phase: 2, AfterSends: 3}}
+	h := NewFaultHarness(m, plan)
+
+	// Phase 0 and 1: unlimited sends.
+	for phase := msg.Phase(0); phase < 2; phase++ {
+		m.phase = phase
+		h.CheckPhase()
+		for i := 0; i < 10; i++ {
+			if !h.AllowSend() {
+				t.Fatalf("send suppressed in pre-crash phase %d", phase)
+			}
+		}
+	}
+
+	// Phase 2: exactly 3 sends complete, the 4th kills the process.
+	m.phase = 2
+	h.CheckPhase()
+	if h.Dead() {
+		t.Fatal("died at phase entry despite positive send budget")
+	}
+	for i := 0; i < 3; i++ {
+		if !h.AllowSendAt(2) {
+			t.Fatalf("send %d suppressed before budget exhausted", i)
+		}
+	}
+	if h.AllowSendAt(2) {
+		t.Fatal("send allowed past the planned crash point")
+	}
+	if !h.Dead() {
+		t.Fatal("process alive after exhausting its send budget")
+	}
+}
+
+func TestHarnessDiesAtPhaseWithoutSends(t *testing.T) {
+	// A zero send budget at phase 3 kills the process the moment it reaches
+	// phase 3, even if it never attempts another send.
+	m := &phaseMachine{id: 4}
+	h := NewFaultHarness(m, faults.Plan{4: {Process: 4, Phase: 3}})
+	m.phase = 2
+	h.CheckPhase()
+	if h.Dead() {
+		t.Fatal("died before its crash phase")
+	}
+	m.phase = 3
+	h.CheckPhase()
+	if !h.Dead() {
+		t.Fatal("survived reaching its crash phase with zero budget")
+	}
+}

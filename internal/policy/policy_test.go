@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/adversary"
+	"resilient/internal/msg"
+	"resilient/internal/sched"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// TestSchedulerAdapterDrawIdentical pins the bit-exactness contract the
+// runtime refactor relies on: wrapping a scheduler in the policy layer must
+// consume exactly the variates the bare scheduler would, in the same order,
+// and produce the same delays.
+func TestSchedulerAdapterDrawIdentical(t *testing.T) {
+	schedulers := map[string]sched.Scheduler{
+		"uniform":   sched.Uniform{Min: 0.1, Max: 1},
+		"exp":       sched.Exponential{Mean: 0.7},
+		"const":     sched.Constant{D: 2},
+		"partition": adversary.Partition{GroupOf: adversary.Halves(3)},
+		"bridge":    adversary.Bridge{GroupOf: adversary.Overlap(2, 4)},
+	}
+	for name, s := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			raw, wrapped := testRNG(7), testRNG(7)
+			pol := FromScheduler(s)
+			m := msg.Message{Kind: msg.KindState, Value: msg.V1}
+			for i := 0; i < 200; i++ {
+				from, to := msg.ID(i%7), msg.ID((i+3)%7)
+				now := float64(i) * 0.25
+				want := s.Delay(from, to, m, now, raw)
+				got := pol.Link(from, to, m, now, wrapped)
+				if got.Drop {
+					t.Fatalf("step %d: scheduler adapter dropped a message", i)
+				}
+				if got.Delay != want {
+					t.Fatalf("step %d: delay %v, want %v", i, got.Delay, want)
+				}
+			}
+		})
+	}
+}
+
+func TestFromSchedulerNilDefaults(t *testing.T) {
+	pol := FromScheduler(nil)
+	rng := testRNG(1)
+	v := pol.Link(0, 1, msg.Message{}, 0, rng)
+	if v.Drop || v.Delay < 0.1 || v.Delay > 1 {
+		t.Fatalf("default policy verdict %+v, want uniform[0.1,1] delay", v)
+	}
+}
+
+func TestPartitionDropsCrossGroupOnly(t *testing.T) {
+	pol := Partition{GroupOf: adversary.Halves(2)}
+	rng := testRNG(3)
+	m := msg.Message{}
+	if v := pol.Link(0, 1, m, 0, rng); v.Drop {
+		t.Fatalf("in-group message dropped: %+v", v)
+	}
+	if v := pol.Link(0, 3, m, 0, rng); !v.Drop {
+		t.Fatalf("cross-group message delivered: %+v", v)
+	}
+	if v := pol.Link(3, 1, m, 0, rng); !v.Drop {
+		t.Fatalf("cross-group message delivered: %+v", v)
+	}
+	// Nil GroupOf: everyone is one group.
+	open := Partition{}
+	if v := open.Link(0, 3, m, 0, rng); v.Drop {
+		t.Fatalf("nil GroupOf dropped a message: %+v", v)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	pol := Drop{P: 0.25}
+	rng := testRNG(11)
+	const trials = 20000
+	dropped := 0
+	for i := 0; i < trials; i++ {
+		if pol.Link(0, 1, msg.Message{}, 0, rng).Drop {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / trials
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("drop rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestDropZeroAndOne(t *testing.T) {
+	rng := testRNG(5)
+	never := Drop{P: 0}
+	always := Drop{P: 1}
+	for i := 0; i < 100; i++ {
+		if never.Link(0, 1, msg.Message{}, 0, rng).Drop {
+			t.Fatal("Drop{P:0} dropped a message")
+		}
+		if !always.Link(0, 1, msg.Message{}, 0, rng).Drop {
+			t.Fatal("Drop{P:1} delivered a message")
+		}
+	}
+}
+
+func TestNameCoversBuiltins(t *testing.T) {
+	cases := map[string]LinkPolicy{
+		"uniform[0.1,1]":                  FromScheduler(nil),
+		"partition(over uniform[0.1,1])":  Partition{},
+		"drop(p=0.1 over uniform[0.1,1])": Drop{P: 0.1},
+	}
+	for want, pol := range cases {
+		if got := Name(pol); got != want {
+			t.Errorf("Name(%T) = %q, want %q", pol, got, want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"resilient/internal/faults"
 	"resilient/internal/metrics"
 	"resilient/internal/msg"
+	"resilient/internal/policy"
 	"resilient/internal/sched"
 	"resilient/internal/trace"
 )
@@ -65,7 +66,13 @@ type Config struct {
 	// Crashes is the fail-stop fault plan.
 	Crashes faults.Plan
 	// Scheduler assigns message delays; defaults to Uniform[0.1, 1].
+	// Ignored when Policy is set.
 	Scheduler sched.Scheduler
+	// Policy decides per-link delivery (delay and drop). When nil, the
+	// Scheduler is wrapped via policy.FromScheduler, which is draw-identical
+	// to consulting the scheduler directly -- the pre-policy goldens pin
+	// this. A dropped message counts as sent but never delivers.
+	Policy policy.LinkPolicy
 	// Seed determines the execution.
 	Seed uint64
 	// Sink receives trace events; nil disables tracing.
@@ -180,6 +187,10 @@ type Result struct {
 	MessagesSent int
 	// MessagesDelivered counts messages actually consumed by machines.
 	MessagesDelivered int
+	// MessagesDropped counts messages the link policy lost: they count as
+	// sent but were never scheduled for delivery. Always zero under pure
+	// scheduler policies.
+	MessagesDropped int
 	// Events counts processed delivery events, including drops.
 	Events int
 	// SimTime is the simulation clock at the end of the run.
@@ -254,10 +265,10 @@ type runner struct {
 	rng      *rand.Rand
 	sink     trace.Sink
 	traceOn  bool // sink.Enabled(), cached: gates per-message Event building
-	sch      sched.Scheduler
+	pol      policy.LinkPolicy
 	met      runMetrics
 	machines []core.Machine
-	trackers []*faults.Tracker
+	harness  []*policy.FaultHarness
 	crashed  []bool
 	now      float64
 	seq      uint64
@@ -338,10 +349,10 @@ func Run(cfg Config) (*Result, error) {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		sink:      cfg.Sink,
-		sch:       cfg.Scheduler,
+		pol:       cfg.Policy,
 		met:       newRunMetrics(cfg.Metrics),
 		machines:  make([]core.Machine, cfg.N),
-		trackers:  make([]*faults.Tracker, cfg.N),
+		harness:   make([]*policy.FaultHarness, cfg.N),
 		crashed:   make([]bool, cfg.N),
 		correct:   make([]bool, cfg.N),
 		decided:   make([]bool, cfg.N),
@@ -357,8 +368,8 @@ func Run(cfg Config) (*Result, error) {
 		r.sink = trace.Nop{}
 	}
 	r.traceOn = r.sink.Enabled()
-	if r.sch == nil {
-		r.sch = sched.Uniform{Min: 0.1, Max: 1}
+	if r.pol == nil {
+		r.pol = policy.FromScheduler(cfg.Scheduler)
 	}
 	world := worldView{r: r}
 	for i := 0; i < cfg.N; i++ {
@@ -386,7 +397,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		r.machines[i] = m
 		r.reporters[i], _ = m.(core.ValueReporter)
-		r.trackers[i] = faults.NewTracker(cfg.Crashes, id)
+		r.harness[i] = policy.NewFaultHarness(m, cfg.Crashes)
 	}
 	// Initial steps.
 	for i, m := range r.machines {
@@ -402,16 +413,16 @@ func Run(cfg Config) (*Result, error) {
 }
 
 func (r *runner) isDead(id msg.ID) bool {
-	return r.crashed[id] || r.trackers[id].Dead()
+	return r.crashed[id] || r.harness[id].Dead()
 }
 
-// noteProgress lets the fault tracker observe the process's phase, killing
+// noteProgress lets the fault harness observe the process's phase, killing
 // it if its planned crash point has been passed without sends.
 func (r *runner) noteProgress(id msg.ID) {
-	t := r.trackers[id]
-	wasDead := t.Dead()
-	t.CheckPhase(r.machines[id].Phase())
-	if t.Dead() && !wasDead {
+	h := r.harness[id]
+	wasDead := h.Dead()
+	h.CheckPhase()
+	if h.Dead() && !wasDead {
 		r.markCrashed(id)
 	}
 }
@@ -432,7 +443,7 @@ func (r *runner) markCrashed(id msg.ID) {
 // dispatch expands and enqueues the sends produced by one machine step,
 // applying the sender's crash plan to each individual point-to-point send.
 func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
-	tracker := r.trackers[from]
+	harness := r.harness[from]
 	phase := r.machines[from].Phase()
 	for _, o := range outs {
 		if !r.cfg.AllowForgery {
@@ -442,7 +453,7 @@ func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
 			if int(o.To) < 0 || int(o.To) >= r.cfg.N {
 				continue
 			}
-			if !tracker.AllowSend(phase) {
+			if !harness.AllowSendAt(phase) {
 				r.markCrashed(from)
 				return
 			}
@@ -464,7 +475,7 @@ func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
 			perm[i], perm[j] = perm[j], perm[i]
 		}
 		for _, q := range perm {
-			if !tracker.AllowSend(phase) {
+			if !harness.AllowSendAt(phase) {
 				r.markCrashed(from)
 				return
 			}
@@ -474,11 +485,20 @@ func (r *runner) dispatch(from msg.ID, outs []core.Outbound) {
 }
 
 func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
-	d := sched.Clamp(r.sch.Delay(from, to, m, r.now, r.rng))
-	r.seq++
-	r.queue.push(event{at: r.now + d, seq: r.seq, to: to, m: m})
+	v := r.pol.Link(from, to, m, r.now, r.rng)
 	r.result.MessagesSent++
 	r.met.sent.Inc()
+	if v.Drop {
+		// The link lost the message: it was sent but will never deliver.
+		// No event is scheduled, so a fully partitioned run drains its
+		// queue instead of chasing a 1e9-unit horizon.
+		r.result.MessagesDropped++
+		r.met.dropped.Inc()
+		return
+	}
+	d := sched.Clamp(v.Delay)
+	r.seq++
+	r.queue.push(event{at: r.now + d, seq: r.seq, to: to, m: m})
 	if r.traceOn {
 		r.sink.Record(trace.Event{
 			Time: r.now, Kind: trace.EventSend, Process: from,

@@ -118,6 +118,11 @@ type SimOptions struct {
 	Seed uint64
 	// Scheduler overrides the delivery-delay policy.
 	Scheduler Scheduler
+	// Policy, when non-nil, replaces Scheduler with a full link policy
+	// (delay, loss, partition) from the shared fault/delivery layer; the
+	// same policy value drives the live engines. Scheduler is ignored when
+	// Policy is set.
+	Policy LinkPolicy
 	// Crashes schedules fail-stop deaths, keyed by process.
 	Crashes map[ID]Crash
 	// Adversaries assigns Byzantine strategies to processes; those
@@ -171,6 +176,7 @@ func Simulate(p Protocol, n, k int, inputs []Value, opts SimOptions) (*Result, e
 		Byzantine:       byz,
 		Crashes:         faults.Plan(opts.Crashes),
 		Scheduler:       opts.Scheduler,
+		Policy:          opts.Policy,
 		Seed:            opts.Seed,
 		Sink:            opts.Trace,
 		MaxEvents:       opts.MaxEvents,
