@@ -1,8 +1,10 @@
 package resilient
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"resilient/internal/experiments"
 )
@@ -148,6 +150,52 @@ func BenchmarkSimulateZeroAlloc(b *testing.B) {
 			b.ReportMetric(perMessage, "allocs/msg")
 		})
 	}
+}
+
+// Live-path benchmarks: full consensus executions over real loopback TCP
+// sockets, tracked by the CI bench-live lane next to the netxport loopback
+// micro-benchmark. Each iteration stands up a fresh mesh, runs to decision,
+// and tears it down -- mesh setup is deliberately on the measured path, as
+// it is in any real deployment of the demo.
+
+func benchLiveTCP(b *testing.B, p Protocol, n, k int, tcp TCPTuning) {
+	b.Helper()
+	inputs := make([]Value, n)
+	for i := range inputs {
+		inputs[i] = Value(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		out, err := RunScenario(ctx, EngineTCP, Scenario{
+			Protocol: p,
+			N:        n,
+			K:        k,
+			Inputs:   inputs,
+			Seed:     uint64(i) + 1,
+			TCP:      tcp,
+		})
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.AllDecided || !out.Agreement {
+			b.Fatalf("iteration %d: allDecided=%v agreement=%v", i, out.AllDecided, out.Agreement)
+		}
+	}
+}
+
+func BenchmarkLiveTCPFailStopN5(b *testing.B) {
+	benchLiveTCP(b, ProtocolFailStop, 5, 2, TCPTuning{})
+}
+
+func BenchmarkLiveTCPMaliciousN7(b *testing.B) {
+	benchLiveTCP(b, ProtocolMalicious, 7, 2, TCPTuning{})
+}
+
+func BenchmarkLiveTCPMaliciousN7Direct(b *testing.B) {
+	benchLiveTCP(b, ProtocolMalicious, 7, 2, TCPTuning{NoCoalesce: true})
 }
 
 // Analysis micro-benchmarks.

@@ -3,6 +3,7 @@ package resilient
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"resilient/internal/core"
 	"resilient/internal/livenet"
@@ -17,11 +18,37 @@ type ClusterReport = livenet.Report
 // ClusterDecision is one process's decision in a live run.
 type ClusterDecision = livenet.Decision
 
+// TCPTuning tunes the loopback TCP transport behind EngineTCP runs. The
+// zero value keeps the transport defaults (coalescing on, 50µs linger,
+// 1 MiB per-peer queue).
+type TCPTuning struct {
+	// Linger is the write-coalescing window: how long a waking writer lets
+	// a burst accumulate before flushing it in one syscall (0 = default).
+	Linger time.Duration
+	// QueueCap is the per-peer pending-buffer cap in bytes; beyond it sends
+	// block until the writer drains (0 = default).
+	QueueCap int
+	// NoCoalesce selects the one-write-per-frame direct path -- the
+	// pre-coalescing transport's cost profile, kept for comparison.
+	NoCoalesce bool
+}
+
+func (t TCPTuning) apply(ep *netxport.Endpoint) {
+	if t.Linger > 0 {
+		ep.SetLinger(t.Linger)
+	}
+	if t.QueueCap > 0 {
+		ep.SetQueueCap(t.QueueCap)
+	}
+	ep.SetCoalescing(!t.NoCoalesce)
+}
+
 // ClusterOption configures a live cluster run.
 type ClusterOption func(*clusterOptions)
 
 type clusterOptions struct {
 	metrics *MetricsRegistry
+	tcp     TCPTuning
 }
 
 // WithClusterMetrics attaches a metrics registry to a live run: the
@@ -29,6 +56,12 @@ type clusterOptions struct {
 // endpoints under "net.".
 func WithClusterMetrics(reg *MetricsRegistry) ClusterOption {
 	return func(o *clusterOptions) { o.metrics = reg }
+}
+
+// WithTCPTuning tunes the TCP transport of a RunTCPCluster run; other
+// cluster runners ignore it.
+func WithTCPTuning(t TCPTuning) ClusterOption {
+	return func(o *clusterOptions) { o.tcp = t }
 }
 
 func applyClusterOptions(opts []ClusterOption) clusterOptions {
@@ -81,10 +114,10 @@ func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts 
 	return cluster.Run(ctx)
 }
 
-// tcpMeshConns starts n loopback TCP endpoints on ephemeral ports and wires
-// them into a full mesh: everyone listens first, then the discovered
+// tcpMeshEndpoints starts n loopback TCP endpoints on ephemeral ports and
+// wires them into a full mesh: everyone listens first, then the discovered
 // addresses are exchanged. On error, every endpoint opened so far is closed.
-func tcpMeshConns(n int, reg *MetricsRegistry) ([]transport.Conn, error) {
+func tcpMeshEndpoints(n int, reg *MetricsRegistry, tune TCPTuning) ([]*netxport.Endpoint, error) {
 	endpoints := make([]*netxport.Endpoint, n)
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -99,17 +132,29 @@ func tcpMeshConns(n int, reg *MetricsRegistry) ([]transport.Conn, error) {
 			return nil, err
 		}
 		ep.SetMetrics(reg)
+		tune.apply(ep)
 		endpoints[i] = ep
 	}
 	final := make([]string, n)
 	for i, ep := range endpoints {
 		final[i] = ep.Addr()
 	}
-	conns := make([]transport.Conn, n)
-	for i, ep := range endpoints {
+	for _, ep := range endpoints {
 		for j, a := range final {
 			ep.SetPeerAddr(msg.ID(j), a)
 		}
+	}
+	return endpoints, nil
+}
+
+// tcpMeshConns is tcpMeshEndpoints as transport.Conn values.
+func tcpMeshConns(n int, reg *MetricsRegistry, tune TCPTuning) ([]transport.Conn, error) {
+	endpoints, err := tcpMeshEndpoints(n, reg, tune)
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]transport.Conn, n)
+	for i, ep := range endpoints {
 		conns[i] = ep
 	}
 	return conns, nil
@@ -124,7 +169,7 @@ func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, op
 	if err != nil {
 		return nil, err
 	}
-	conns, err := tcpMeshConns(n, o.metrics)
+	conns, err := tcpMeshConns(n, o.metrics, o.tcp)
 	if err != nil {
 		return nil, err
 	}

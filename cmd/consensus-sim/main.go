@@ -12,6 +12,11 @@
 //	consensus-sim -protocol failstop -n 9 -k 4 -crash "3:1:5,7:0:0" -trials 100
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine tcp -crash "5:1:3,6:0:0"
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine mem -policy drop:0.1,uniform:0.1:1
+//	consensus-sim -engine tcp -saturate -n 13 -messages 500000
+//
+// With -engine tcp, -saturate floods the mesh with consensus-shaped frames
+// (no protocol on top) and reports aggregate throughput; -linger and
+// -nocoalesce tune the transport's write-coalescing for both modes.
 //
 // With -trials > 1 it reports aggregate statistics over seeded runs instead
 // of a single execution; -workers fans the trials across goroutines without
@@ -64,6 +69,11 @@ func run(args []string) error {
 		policySpec  = fs.String("policy", "", "link policy: comma-chained wrappers over a base, e.g. uniform:0.1:1 | exp:1 | const:1 | drop:0.1,uniform:0.1:1 | partition:2,const:1")
 		unitFlag    = fs.Duration("unit", 0, "wall-clock length of one policy delay unit on live engines (default 1ms)")
 		timeoutFlag = fs.Duration("timeout", 30*time.Second, "deadline for live-engine runs")
+		saturate    = fs.Bool("saturate", false, "flood the TCP mesh with consensus-shaped frames and report throughput instead of running a protocol (engine tcp only)")
+		messages    = fs.Int("messages", 200000, "total message budget in -saturate mode")
+		payloadFlag = fs.Int("payload", 0, "payload bytes per message in -saturate mode")
+		lingerFlag  = fs.Duration("linger", 0, "TCP write-coalescing window (0 = transport default, engine tcp only)")
+		noCoalesce  = fs.Bool("nocoalesce", false, "disable TCP write coalescing: one write syscall per frame (engine tcp only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +123,40 @@ func run(args []string) error {
 		return resilient.WriteMetricsJSON(f, reg)
 	}
 
+	tcp := resilient.TCPTuning{Linger: *lingerFlag, NoCoalesce: *noCoalesce}
+	if (tcp.Linger > 0 || tcp.NoCoalesce) && engine != resilient.EngineTCP {
+		return errors.New("-linger and -nocoalesce apply to -engine tcp only")
+	}
+	if *saturate {
+		if engine != resilient.EngineTCP {
+			return errors.New("-saturate requires -engine tcp")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeoutFlag)
+		defer cancel()
+		rep, runErr := resilient.RunTCPSaturation(ctx, resilient.SaturationOptions{
+			N:        *n,
+			Messages: *messages,
+			Payload:  *payloadFlag,
+			TCP:      tcp,
+			Metrics:  reg,
+		})
+		if rep == nil {
+			return runErr
+		}
+		if err := writeMetrics(); err != nil {
+			return err
+		}
+		mode := "coalesce"
+		if tcp.NoCoalesce {
+			mode = "direct"
+		}
+		fmt.Printf("saturation  n=%d payload=%dB mode=%s\n", *n, *payloadFlag, mode)
+		fmt.Printf("messages    %d\n", rep.Messages)
+		fmt.Printf("elapsed     %v\n", rep.Elapsed.Round(time.Millisecond))
+		fmt.Printf("throughput  %.0f msgs/s, %.1f MB/s\n", rep.MsgsPerSec, rep.MBPerSec)
+		return runErr
+	}
+
 	if engine.Live() {
 		if *trials > 1 {
 			return fmt.Errorf("engine %v runs single executions; aggregate trials with -engine sim", engine)
@@ -132,6 +176,7 @@ func run(args []string) error {
 			Adversaries: adversaries,
 			Policy:      pol,
 			Unit:        *unitFlag,
+			TCP:         tcp,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})

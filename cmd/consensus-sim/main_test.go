@@ -115,6 +115,36 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunSaturateMode(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-engine", "tcp", "-saturate", "-n", "3",
+			"-messages", "3000", "-linger", "1ms", "-timeout", "30s"}); err != nil {
+			t.Fatalf("saturate run: %v", err)
+		}
+	})
+	if !strings.Contains(out, "mode=coalesce") || !strings.Contains(out, "messages    3000") {
+		t.Fatalf("unexpected saturation report:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		if err := run([]string{"-engine", "tcp", "-saturate", "-n", "3",
+			"-messages", "1000", "-nocoalesce", "-timeout", "30s"}); err != nil {
+			t.Fatalf("direct saturate run: %v", err)
+		}
+	})
+	if !strings.Contains(out, "mode=direct") {
+		t.Fatalf("direct mode not reported:\n%s", out)
+	}
+	// Guard rails: saturation and TCP tuning are TCP-engine concepts.
+	if err := run([]string{"-saturate"}); err == nil ||
+		!strings.Contains(err.Error(), "-engine tcp") {
+		t.Fatalf("saturate on sim engine: %v", err)
+	}
+	if err := run([]string{"-nocoalesce"}); err == nil ||
+		!strings.Contains(err.Error(), "-engine tcp") {
+		t.Fatalf("nocoalesce on sim engine: %v", err)
+	}
+}
+
 func TestRunJSONMode(t *testing.T) {
 	if err := run([]string{"-protocol", "failstop", "-n", "5", "-k", "2", "-json"}); err != nil {
 		t.Fatalf("json run: %v", err)

@@ -132,6 +132,9 @@ type Scenario struct {
 	// Unit is the wall-clock length of one abstract delay unit on live
 	// engines (0 = livenet.DefaultUnit, one millisecond).
 	Unit time.Duration
+	// TCP tunes the loopback TCP transport on EngineTCP runs (coalescing
+	// window, queue cap, direct mode); other engines ignore it.
+	TCP TCPTuning
 	// Unsafe skips the resilience-bound validation of (n, k).
 	Unsafe bool
 	// Metrics, when non-nil, receives run accounting: "runtime." counters
@@ -248,7 +251,7 @@ func newScenarioCluster(engine Engine, sc Scenario) (*livenet.Cluster, error) {
 		cluster, err = livenet.NewJitterCluster(machines, maxDelay, sc.Seed)
 	case EngineTCP:
 		var conns []transport.Conn
-		conns, err = tcpMeshConns(sc.N, sc.Metrics)
+		conns, err = tcpMeshConns(sc.N, sc.Metrics, sc.TCP)
 		if err != nil {
 			return nil, err
 		}

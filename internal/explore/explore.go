@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"resilient/internal/core"
 	"resilient/internal/msg"
@@ -218,8 +219,12 @@ func (s *state) absorb(from msg.ID, outs []core.Outbound, n int) {
 }
 
 func (s *state) addFlight(to msg.ID, m msg.Message) {
-	enc := fmt.Sprintf("%d|%s", to, msg.Encode(m))
-	s.inflight = append(s.inflight, flight{to: to, m: m, enc: enc})
+	// One buffer, sized up front: destination, separator, message encoding.
+	buf := make([]byte, 0, 12+msg.EncodedLen(m))
+	buf = strconv.AppendInt(buf, int64(to), 10)
+	buf = append(buf, '|')
+	buf = msg.AppendEncode(buf, m)
+	s.inflight = append(s.inflight, flight{to: to, m: m, enc: string(buf)})
 }
 
 func (s *state) removeInflight(i int) {

@@ -245,8 +245,10 @@ func (m *Machine) Snapshot() []byte {
 	// ascending; message encodings are sorted within a phase).
 	m.pending.ForEach(func(p msg.Phase, msgs []msg.Message) {
 		encs := make([]string, len(msgs))
+		var scratch []byte
 		for i, mm := range msgs {
-			encs[i] = string(msg.Encode(mm))
+			scratch = msg.AppendEncode(scratch[:0], mm)
+			encs[i] = string(scratch)
 		}
 		sort.Strings(encs)
 		b = appendInt32(b, int32(p))

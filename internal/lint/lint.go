@@ -129,6 +129,13 @@ func ProjectConfig(dir string) Config {
 			// allocation inside step is exactly what must be caught.
 			mod + "/internal/mc.FailStop.step",
 			mod + "/internal/mc.Malicious.step",
+			// The TCP transport's per-message paths: send covers the
+			// encode/enqueue/flush chain (appendFrame, enqueueLocked,
+			// writeLoop, flushBatch follow by static calls), readLoop covers
+			// the streaming decode/demux chain. Cold subpaths (dial errors,
+			// misuse errors) carry lint:allow annotations.
+			mod + "/internal/netxport.Endpoint.send",
+			mod + "/internal/netxport.Endpoint.readLoop",
 		},
 	}
 }

@@ -216,8 +216,10 @@ func (m *Machine) Snapshot() []byte {
 	for _, p := range phases {
 		msgs := m.pending[msg.Phase(p)]
 		encs := make([]string, len(msgs))
+		var scratch []byte
 		for i, mm := range msgs {
-			encs[i] = string(msg.Encode(mm))
+			scratch = msg.AppendEncode(scratch[:0], mm)
+			encs[i] = string(scratch)
 		}
 		sort.Strings(encs)
 		b = append(b, byte(p))

@@ -1,0 +1,66 @@
+package msg
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzCodec drives both codec layers with arbitrary bytes: the flat
+// Decode/Encode round trip and the streaming Decoder over a hostile byte
+// stream. Neither layer may panic, accept an invalid message, or -- when a
+// buffer does decode -- fail to round-trip it bit-exactly.
+func FuzzCodec(f *testing.F) {
+	for _, m := range []Message{
+		State(0, 0, V0, 1),
+		Echo(1, 7, WildcardPhase, V0),
+		BenOrProposal(2, 8, V0, true),
+		Graph(6, 3, []byte{0xde, 0xad}),
+	} {
+		f.Add(Encode(m))
+		f.Add(AppendFrame(nil, Encode(m)))
+	}
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Flat decode: success implies a valid message that round-trips.
+		if m, err := Decode(data); err == nil {
+			if !m.Kind.Valid() || !m.Value.Valid() {
+				t.Fatalf("Decode accepted invalid message %+v", m)
+			}
+			if len(m.Payload) > MaxPayload {
+				t.Fatalf("Decode accepted %d-byte payload", len(m.Payload))
+			}
+			re := Encode(m)
+			back, err := Decode(re)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(normalizePayload(back), normalizePayload(m)) {
+				t.Fatalf("round trip drifted: %+v -> %+v", m, back)
+			}
+			if !bytes.Equal(re, AppendEncode(nil, m)) {
+				t.Fatal("Encode and AppendEncode disagree")
+			}
+		}
+		// Streaming decode: the Decoder must terminate on any input --
+		// hostile length prefixes included -- without panicking, and every
+		// message it yields must be valid.
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			m, err := dec.Decode()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					err != ErrFrameTooLarge && err != ErrShortMessage &&
+					err != ErrBadKind && err != ErrBadValue && err != ErrPayloadTooLarge {
+					t.Fatalf("unexpected decoder error: %v", err)
+				}
+				break
+			}
+			if !m.Kind.Valid() || !m.Value.Valid() {
+				t.Fatalf("Decoder yielded invalid message %+v", m)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package netxport
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+// drainEndpoint consumes an endpoint's inbox until it closes, counting into
+// got.
+func drainEndpoint(ep *Endpoint, got *atomic.Int64) {
+	for {
+		if _, err := ep.Recv(); err != nil {
+			return
+		}
+		got.Add(1)
+	}
+}
+
+// benchLoopback pushes b.N messages through an n-endpoint loopback mesh --
+// every endpoint sending round-robin to its peers concurrently, the shape of
+// a consensus broadcast storm -- and reports aggregate msgs/s. With coalesce
+// off this is the pre-change transport's cost profile (one write syscall per
+// frame), so the coalesce/direct ratio at each n is the headline number.
+func benchLoopback(b *testing.B, n int, coalesce bool) {
+	eps := mesh(b, n)
+	for _, ep := range eps {
+		ep.SetCoalescing(coalesce)
+	}
+	var got atomic.Int64
+	for _, ep := range eps {
+		go drainEndpoint(ep, &got)
+	}
+
+	// Split b.N messages across the n senders, remainder to the low ids.
+	quota := make([]int, n)
+	for i := 0; i < n; i++ {
+		quota[i] = b.N / n
+		if i < b.N%n {
+			quota[i]++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			ep := eps[self]
+			for k := 0; k < quota[self]; k++ {
+				to := msg.ID((self + 1 + k%(n-1)) % n) // round-robin over peers
+				if err := ep.Send(to, msg.Val(0, msg.Phase(k), msg.V1)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for got.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkNetxportLoopback is the live-path throughput headline tracked by
+// the CI bench lane: messages per second over real loopback sockets at
+// cluster sizes n=7/13/21, with the coalescing writer and with the direct
+// one-write-per-frame path.
+func BenchmarkNetxportLoopback(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		coalesce bool
+	}{{"coalesce", true}, {"direct", false}} {
+		for _, n := range []int{7, 13, 21} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				benchLoopback(b, n, mode.coalesce)
+			})
+		}
+	}
+}
+
+// maxTransportAllocsPerMessage is the transport hot path's allocation
+// ceiling, the socket-path sibling of the simulator's
+// BenchmarkSimulateZeroAlloc gate. A sent message crosses Send -> enqueue ->
+// writer flush -> peer read loop -> decoder -> inbox; in steady state (warm
+// buffers, established connection) that whole chain is append/reuse only.
+// The allowance above zero absorbs runtime jitter (netpoll, timer churn),
+// not a per-message allocation.
+const maxTransportAllocsPerMessage = 0.5
+
+// BenchmarkNetxportZeroAlloc FAILS, not just reports, when the steady-state
+// socket path allocates more than the ceiling per message (sender and
+// receiver goroutines included -- AllocsPerRun counts the whole process).
+func BenchmarkNetxportZeroAlloc(b *testing.B) {
+	eps := mesh(b, 2)
+	var got atomic.Int64
+	go drainEndpoint(eps[1], &got)
+	m := msg.Val(0, 1, msg.V1)
+
+	send := func(count int) {
+		start := got.Load()
+		for i := 0; i < count; i++ {
+			if err := eps[0].Send(1, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Quiesce: the writer's flush and the peer's decode must land inside
+		// the measured window to be attributed.
+		for got.Load() < start+int64(count) {
+			runtime.Gosched()
+		}
+	}
+	send(2000) // warm: dial, grow the pending/spare/decoder buffers
+
+	const batch = 5000
+	allocs := testing.AllocsPerRun(3, func() { send(batch) })
+	perMessage := allocs / batch
+	if perMessage > maxTransportAllocsPerMessage {
+		b.Fatalf("%.4f allocs per message (%.0f allocs / %d messages), ceiling %.2f",
+			perMessage, allocs, batch, maxTransportAllocsPerMessage)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	send(b.N)
+	b.StopTimer()
+	b.ReportMetric(perMessage, "allocs/msg")
+}

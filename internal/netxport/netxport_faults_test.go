@@ -14,6 +14,7 @@ import (
 // old endpoint-wide lock the healthy send waited out the full backoff.
 func TestDeadPeerDoesNotBlockHealthyPeer(t *testing.T) {
 	eps := mesh(t, 3)
+	eps[0].SetCoalescing(false) // dial errors must surface synchronously from Send
 	dead := eps[2].Addr()
 	eps[2].Close()
 	eps[0].SetPeerAddr(2, dead)
@@ -52,6 +53,7 @@ func TestDeadPeerDoesNotBlockHealthyPeer(t *testing.T) {
 // poison the link forever) and a later Send must redial and get through.
 func TestEvictionAndRedial(t *testing.T) {
 	eps := mesh(t, 2)
+	eps[0].SetCoalescing(false) // write errors must surface synchronously from Send
 	reg := metrics.NewRegistry()
 	eps[0].SetMetrics(reg)
 
@@ -108,6 +110,7 @@ func TestEvictionAndRedial(t *testing.T) {
 // the sleep promptly instead of serving out the full retry schedule.
 func TestCloseUnblocksBackoffSleep(t *testing.T) {
 	eps := mesh(t, 2)
+	eps[0].SetCoalescing(false) // park the Send itself in the dial backoff
 	dead := eps[1].Addr()
 	eps[1].Close()
 	eps[0].SetPeerAddr(1, dead)

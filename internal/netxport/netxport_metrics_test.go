@@ -12,6 +12,10 @@ import (
 // the local fast path and checks the net.* counters add up on both sides.
 func TestTransportMetricsAccounting(t *testing.T) {
 	eps := mesh(t, 2)
+	// Direct mode: counters update synchronously with Send, so the exact
+	// assertions below cannot race the writer goroutine. The coalesced
+	// path's accounting is covered in coalesce_test.go.
+	eps[0].SetCoalescing(false)
 	sender := metrics.NewRegistry()
 	receiver := metrics.NewRegistry()
 	eps[0].SetMetrics(sender)
@@ -65,6 +69,7 @@ func TestTransportMetricsAccounting(t *testing.T) {
 // the failed attempts are recorded as retries and errors.
 func TestDialRetriesCounted(t *testing.T) {
 	eps := mesh(t, 2)
+	eps[0].SetCoalescing(false) // dial failure must surface from Send itself
 	reg := metrics.NewRegistry()
 	eps[0].SetMetrics(reg)
 	// A port nothing listens on: reserve one, then close it.

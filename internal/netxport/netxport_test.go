@@ -9,7 +9,7 @@ import (
 )
 
 // mesh starts n endpoints on ephemeral loopback ports, fully wired.
-func mesh(t *testing.T, n int) []*Endpoint {
+func mesh(t testing.TB, n int) []*Endpoint {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {
