@@ -2,6 +2,7 @@ package resilient
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"testing"
 	"time"
@@ -196,6 +197,50 @@ func BenchmarkLiveTCPMaliciousN7(b *testing.B) {
 
 func BenchmarkLiveTCPMaliciousN7Direct(b *testing.B) {
 	benchLiveTCP(b, ProtocolMalicious, 7, 2, TCPTuning{NoCoalesce: true})
+}
+
+// benchLogThroughput runs the replicated log over real TCP at n=7 and
+// reports committed ops/sec: 64 slots per iteration regardless of batch
+// size, so the batch-1 and batch-16 variants do the same consensus work and
+// the ops/sec ratio isolates what batching (amortizing a slot across many
+// operations) and pipelining (overlapping slots in the window) buy.
+func benchLogThroughput(b *testing.B, batch, window int) {
+	b.Helper()
+	const slots = 64
+	ops := make([][]byte, slots*batch)
+	for i := range ops {
+		op := make([]byte, 16)
+		binary.BigEndian.PutUint64(op, uint64(i))
+		ops[i] = op
+	}
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		rep, err := RunLog(ctx, LogOptions{
+			Engine:   EngineTCP,
+			N:        7,
+			Seed:     uint64(i) + 1,
+			Batch:    batch,
+			Pipeline: window,
+		}, ops)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Ops != len(ops) {
+			b.Fatalf("iteration %d committed %d/%d ops", i, rep.Ops, len(ops))
+		}
+		total += rep.OpsPerSec
+	}
+	b.StopTimer()
+	b.ReportMetric(total/float64(b.N), "ops/sec")
+}
+
+func BenchmarkLogThroughput(b *testing.B) {
+	b.Run("tcp-n7/batch1-win4", func(b *testing.B) { benchLogThroughput(b, 1, 4) })
+	b.Run("tcp-n7/batch16-win1", func(b *testing.B) { benchLogThroughput(b, 16, 1) })
+	b.Run("tcp-n7/batch16-win4", func(b *testing.B) { benchLogThroughput(b, 16, 4) })
 }
 
 // Analysis micro-benchmarks.

@@ -13,10 +13,20 @@
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine tcp -crash "5:1:3,6:0:0"
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine mem -policy drop:0.1,uniform:0.1:1
 //	consensus-sim -engine tcp -saturate -n 13 -messages 500000
+//	consensus-sim -log -engine tcp -n 7 -ops 4096 -batch 16 -pipeline 4
+//	consensus-sim -log -engine tcp -rate 20000 -clients 256 -batch 32 -logcrash "2:5"
 //
 // With -engine tcp, -saturate floods the mesh with consensus-shaped frames
 // (no protocol on top) and reports aggregate throughput; -linger and
 // -nocoalesce tune the transport's write-coalescing for both modes.
+//
+// -log runs the replicated-log layer instead of a single decision: a
+// workload of -ops operations is batched (-batch, -linger), committed
+// through pipelined per-slot Figure-2 instances (-pipeline) multiplexed
+// over one shared transport, and reported as ops/sec with commit-latency
+// percentiles. -rate paces an open-loop arrival schedule (0 = unpaced),
+// -clients sizes the simulated client population, and -logcrash schedules
+// slot-boundary fail-stops ("id:slot" entries).
 //
 // With -trials > 1 it reports aggregate statistics over seeded runs instead
 // of a single execution; -workers fans the trials across goroutines without
@@ -73,7 +83,16 @@ func run(args []string) error {
 		messages    = fs.Int("messages", 200000, "total message budget in -saturate mode")
 		payloadFlag = fs.Int("payload", 0, "payload bytes per message in -saturate mode")
 		lingerFlag  = fs.Duration("linger", 0, "TCP write-coalescing window (0 = transport default, engine tcp only)")
+		bLingerFlag = fs.Duration("batchlinger", 0, "open-loop batcher linger in -log mode (0 = default)")
 		noCoalesce  = fs.Bool("nocoalesce", false, "disable TCP write coalescing: one write syscall per frame (engine tcp only)")
+		logMode     = fs.Bool("log", false, "run the replicated-log layer: batched, pipelined consensus slots over one shared transport")
+		rateFlag    = fs.Float64("rate", 0, "open-loop arrival rate in ops/sec in -log mode (0 = unpaced)")
+		clientsFlag = fs.Int("clients", 0, "simulated client population in -log mode (0 = default)")
+		batchFlag   = fs.Int("batch", 0, "maximum operations per consensus slot in -log mode (0 = default)")
+		pipeFlag    = fs.Int("pipeline", 0, "consensus slots in flight in -log mode (0 = default)")
+		opsFlag     = fs.Int("ops", 0, "total operations in -log mode (0 = default)")
+		opBytesFlag = fs.Int("opbytes", 0, "bytes per operation in -log mode (0 = default)")
+		logCrashes  = fs.String("logcrash", "", "slot-boundary crash plan in -log mode: comma-separated id:slot entries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +102,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	userK := *k
 	if *k < 0 {
 		*k = proto.MaxFaults(*n)
 	}
@@ -126,6 +146,54 @@ func run(args []string) error {
 	tcp := resilient.TCPTuning{Linger: *lingerFlag, NoCoalesce: *noCoalesce}
 	if (tcp.Linger > 0 || tcp.NoCoalesce) && engine != resilient.EngineTCP {
 		return errors.New("-linger and -nocoalesce apply to -engine tcp only")
+	}
+	if *logMode {
+		if *saturate {
+			return errors.New("-log and -saturate are mutually exclusive")
+		}
+		logK := 0 // 0 = the Figure-2 bound for n
+		if userK >= 0 {
+			logK = userK
+		}
+		lc, err := parseLogCrashes(*logCrashes)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeoutFlag)
+		defer cancel()
+		rep, runErr := resilient.RunLogWorkload(ctx, resilient.LogWorkloadOptions{
+			Log: resilient.LogOptions{
+				Engine:   engine,
+				N:        *n,
+				K:        logK,
+				Seed:     *seed,
+				Batch:    *batchFlag,
+				Pipeline: *pipeFlag,
+				Linger:   *bLingerFlag,
+				Crashes:  lc,
+				TCP:      tcp,
+				Unit:     *unitFlag,
+				Metrics:  reg,
+			},
+			Ops:     *opsFlag,
+			Rate:    *rateFlag,
+			Clients: *clientsFlag,
+			OpBytes: *opBytesFlag,
+		})
+		if rep == nil {
+			return runErr
+		}
+		if err := writeMetrics(); err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := printLogJSON(*n, rep); err != nil {
+				return err
+			}
+			return runErr
+		}
+		printLogReport(*n, *rateFlag, rep)
+		return runErr
 	}
 	if *saturate {
 		if engine != resilient.EngineTCP {
@@ -350,6 +418,84 @@ func parseCrashes(spec string) (map[resilient.ID]resilient.Crash, error) {
 		}
 	}
 	return plan, nil
+}
+
+func parseLogCrashes(spec string) ([]resilient.LogCrash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var plan []resilient.LogCrash
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("log crash entry %q: want id:slot", entry)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("log crash entry %q: %w", entry, err)
+		}
+		slot, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("log crash entry %q: %w", entry, err)
+		}
+		plan = append(plan, resilient.LogCrash{Process: resilient.ID(id), Slot: slot})
+	}
+	return plan, nil
+}
+
+func printLogReport(n int, rate float64, rep *resilient.LogReport) {
+	pacing := "unpaced"
+	if rate > 0 {
+		pacing = fmt.Sprintf("%.0f ops/s offered", rate)
+	}
+	fmt.Printf("log         engine=%v n=%d (%s)\n", rep.Engine, n, pacing)
+	fmt.Printf("ops         %d committed in %d batches\n", rep.Ops, rep.Batches)
+	fmt.Printf("slots       %d (%d no-op)\n", rep.Slots, rep.NoopSlots)
+	fmt.Printf("elapsed     %v\n", rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput  %.0f ops/s committed\n", rep.OpsPerSec)
+	if rep.Engine.Live() {
+		fmt.Printf("latency     p50=%v p95=%v p99=%v\n",
+			rep.P50.Round(time.Microsecond), rep.P95.Round(time.Microsecond), rep.P99.Round(time.Microsecond))
+	} else {
+		fmt.Printf("sim time    %.3f units\n", rep.SimTime)
+	}
+}
+
+// logJSON is the machine-readable -log summary; the CI bench lane snapshots
+// it.
+type logJSON struct {
+	Engine     string  `json:"engine"`
+	N          int     `json:"n"`
+	Ops        int     `json:"ops"`
+	Slots      int     `json:"slots"`
+	NoopSlots  int     `json:"noopSlots,omitempty"`
+	Batches    int     `json:"batches"`
+	ElapsedSec float64 `json:"elapsedSeconds"`
+	OpsPerSec  float64 `json:"opsPerSec"`
+	P50Sec     float64 `json:"p50Seconds,omitempty"`
+	P95Sec     float64 `json:"p95Seconds,omitempty"`
+	P99Sec     float64 `json:"p99Seconds,omitempty"`
+	SimTime    float64 `json:"simTime,omitempty"`
+}
+
+func printLogJSON(n int, rep *resilient.LogReport) error {
+	out := logJSON{
+		Engine:     rep.Engine.String(),
+		N:          n,
+		Ops:        rep.Ops,
+		Slots:      rep.Slots,
+		NoopSlots:  rep.NoopSlots,
+		Batches:    rep.Batches,
+		ElapsedSec: rep.Elapsed.Seconds(),
+		OpsPerSec:  rep.OpsPerSec,
+		P50Sec:     rep.P50.Seconds(),
+		P95Sec:     rep.P95.Seconds(),
+		P99Sec:     rep.P99.Seconds(),
+		SimTime:    rep.SimTime,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func parseAdversaries(spec string, n, k int) (map[resilient.ID]resilient.Strategy, error) {

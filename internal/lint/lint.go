@@ -136,6 +136,12 @@ func ProjectConfig(dir string) Config {
 			// misuse errors) carry lint:allow annotations.
 			mod + "/internal/netxport.Endpoint.send",
 			mod + "/internal/netxport.Endpoint.readLoop",
+			// The replicated log's per-slot commit/batch path: recordSlot
+			// folds every decided slot into the report and the metrics
+			// registry, batchFrames packs each batch into wire chunks; both
+			// run once per slot in the pipelined commit loop.
+			mod + ".logRun.recordSlot",
+			mod + ".batchFrames",
 		},
 	}
 }

@@ -71,20 +71,22 @@ func runFailStop(n, k int, inputs []msg.Value, conns []transport.Conn) (map[msg.
 // TestMuxParityWithDedicatedSockets pins the multiplexing contract: several
 // consensus instances sharing ONE socket mesh via Endpoint.Instance must
 // decide exactly what each instance decides on a dedicated
-// one-socket-mesh-per-instance deployment. Instance inputs differ so a
-// cross-instance frame leak would flip a decision, not hide in agreement.
+// one-socket-mesh-per-instance deployment. Each instance is unanimous on
+// the OPPOSITE value of its neighbours, so validity pins every expected
+// decision regardless of scheduling (mixed inputs would make the fail-stop
+// decision legitimately arrival-order-dependent on a live engine), while a
+// cross-instance frame leak injects wrong-valued frames and flips a pinned
+// decision rather than hiding in agreement.
 func TestMuxParityWithDedicatedSockets(t *testing.T) {
 	const (
 		n         = 5
 		k         = 2
 		instances = 3
 	)
-	// Instance j rotates the mixed input pattern by j, giving each instance
-	// its own (deterministic) fail-stop outcome.
 	inputsFor := func(j int) []msg.Value {
 		in := make([]msg.Value, n)
 		for i := range in {
-			in[i] = msg.Value((i + j) % 2)
+			in[i] = msg.Value(j % 2)
 		}
 		return in
 	}

@@ -255,6 +255,70 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts:
+// the target rank is located in its bucket cumulatively, then interpolated
+// linearly between the bucket's bounds. The overflow bucket and the edges
+// are clamped to the observed [min, max], so estimates never leave the
+// observed range. Returns 0 on nil or before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile with h.mu held.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is the 1-based observation index the quantile falls on (nearest
+	// rank with interpolation below).
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		// The quantile lands in bucket i, spanning (lo, hi].
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		var hi float64
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		} else {
+			hi = h.max // overflow bucket: cap at the observed maximum
+		}
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		v := lo + (hi-lo)*((rank-prev)/float64(c))
+		return v
+	}
+	return h.max
+}
+
 // Bucket is one histogram bucket in a snapshot. LE is the bucket's upper
 // bound rendered as the shortest round-trip decimal, "+Inf" for the overflow
 // bucket. Counts are per-bucket, not cumulative.
@@ -263,13 +327,19 @@ type Bucket struct {
 	Count uint64 `json:"count"`
 }
 
-// HistogramSnapshot is the frozen state of one histogram.
+// HistogramSnapshot is the frozen state of one histogram. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see Histogram.Quantile); like every
+// other field they render deterministically, so snapshot JSON stays
+// byte-stable for identical contents.
 type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     float64  `json:"sum"`
 	Min     float64  `json:"min"`
 	Max     float64  `json:"max"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
 	Buckets []Bucket `json:"buckets"`
 }
 
@@ -320,6 +390,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	if h.count > 0 {
 		hs.Mean = h.sum / float64(h.count)
+		hs.P50 = h.quantileLocked(0.50)
+		hs.P95 = h.quantileLocked(0.95)
+		hs.P99 = h.quantileLocked(0.99)
 	}
 	for i, c := range h.counts {
 		le := "+Inf"

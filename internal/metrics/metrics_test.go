@@ -49,6 +49,50 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LinearBuckets(10, 10, 10)) // 10, 20, ..., 100
+	// 100 observations uniformly spread at 1..100: quantile estimates must
+	// interpolate to within one bucket width of the exact order statistics.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q, want, tol float64
+	}{
+		{0.50, 50, 10},
+		{0.95, 95, 10},
+		{0.99, 99, 10},
+		{0, 1, 0},
+		{1, 100, 0},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v±%v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if hs.P50 != h.Quantile(0.50) || hs.P95 != h.Quantile(0.95) || hs.P99 != h.Quantile(0.99) {
+		t.Fatalf("snapshot percentiles %v/%v/%v disagree with Quantile", hs.P50, hs.P95, hs.P99)
+	}
+	// Estimates are clamped to the observed range, including in the overflow
+	// bucket: a histogram whose observations all land above the last bound
+	// still reports finite percentiles.
+	over := r.Histogram("over", []float64{1})
+	over.Observe(5)
+	over.Observe(7)
+	if got := over.Quantile(0.99); got < 5 || got > 7 {
+		t.Fatalf("overflow-bucket quantile = %v, want within [5, 7]", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram Quantile must be 0")
+	}
+	if empty := r.Histogram("empty", []float64{1}); empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram Quantile must be 0")
+	}
+}
+
 func TestNilRegistryIsFree(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")

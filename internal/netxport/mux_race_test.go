@@ -1,0 +1,144 @@
+package netxport
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"resilient/internal/msg"
+	"resilient/internal/transport"
+)
+
+// TestInstanceChurnRace stresses the demux table under concurrent instance
+// churn: receiver-side instances are claimed, drained, and closed in a tight
+// loop while the sender keeps blasting frames at every id, so the read loop
+// demuxes into conns that are being claimed and released under it. Run with
+// -race this pins the copy-on-write discipline; the closing assertions pin
+// that Close releases ids (re-claim succeeds) and that the table does not
+// grow with churn.
+func TestInstanceChurnRace(t *testing.T) {
+	eps := mesh(t, 2)
+	sender, receiver := eps[0], eps[1]
+
+	const (
+		ids    = 8  // instance ids cycled by both sides
+		rounds = 40 // claim/drain/close rounds per receiver worker
+	)
+
+	// Sender side: one long-lived instance conn per id, each hammering the
+	// receiver for the whole test.
+	var stop atomic.Bool
+	var senderWG sync.WaitGroup
+	for i := 1; i <= ids; i++ {
+		conn, err := sender.Instance(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		senderWG.Add(1)
+		go func(c transport.Conn, v msg.Value) {
+			defer senderWG.Done()
+			m := msg.Val(0, 0, v)
+			for !stop.Load() {
+				if err := c.Send(1, m); err != nil {
+					return
+				}
+			}
+		}(conn, msg.Value(uint8(i%2)))
+	}
+
+	// Receiver side: workers churn through the ids -- claim, receive a few
+	// frames, close, re-claim. Different workers fight over the same id
+	// space, so claims legitimately fail while another worker holds the id.
+	var churnWG sync.WaitGroup
+	var claims, rejects atomic.Int64
+	for w := 0; w < 4; w++ {
+		churnWG.Add(1)
+		go func(w int) {
+			defer churnWG.Done()
+			for r := 0; r < rounds; r++ {
+				id := uint32(1 + (w+r)%ids)
+				conn, err := receiver.Instance(id)
+				if err != nil {
+					rejects.Add(1)
+					runtime.Gosched() // another worker holds the id right now
+					continue
+				}
+				claims.Add(1)
+				for k := 0; k < 2; k++ {
+					if _, err := conn.Recv(); err != nil {
+						break
+					}
+				}
+				conn.Close()
+			}
+		}(w)
+	}
+	churnWG.Wait()
+	stop.Store(true)
+	senderWG.Wait()
+
+	if claims.Load() == 0 {
+		t.Fatal("no receiver-side claim ever succeeded")
+	}
+	// Close released every id: the table is empty again and every id is
+	// immediately claimable.
+	if n := len(*receiver.insts.Load()); n != 0 {
+		t.Fatalf("demux table holds %d entries after every instance closed", n)
+	}
+	for i := 1; i <= ids; i++ {
+		conn, err := receiver.Instance(uint32(i))
+		if err != nil {
+			t.Fatalf("re-claim instance %d after churn: %v", i, err)
+		}
+		conn.Close()
+	}
+}
+
+// TestInstanceCloseReleasesID pins the claim/release contract sequentially:
+// a claimed id rejects duplicates, Close releases it, a fresh claim gets a
+// working conn, and the stale conn stays dead.
+func TestInstanceCloseReleasesID(t *testing.T) {
+	eps := mesh(t, 2)
+	a, b := eps[0], eps[1]
+
+	first, err := b.Instance(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Instance(7); err == nil {
+		t.Fatal("duplicate claim of a live id must fail")
+	}
+	first.Close()
+	if _, err := first.Recv(); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("stale conn Recv = %v, want ErrClosed", err)
+	}
+
+	second, err := b.Instance(7)
+	if err != nil {
+		t.Fatalf("re-claim after Close: %v", err)
+	}
+	src, err := a.Instance(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := msg.Val(0, 3, msg.V1)
+	if err := src.Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.Phase != want.Phase || got.Value != want.Value || got.From != 0 {
+		t.Fatalf("re-claimed conn received %+v", got)
+	}
+	// Closing the STALE conn again must not evict the new claimant.
+	first.Close()
+	if n := len(*b.insts.Load()); n != 1 {
+		t.Fatalf("stale double-close changed the table: %d entries, want 1", n)
+	}
+	second.Close()
+	src.Close()
+}

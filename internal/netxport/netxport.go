@@ -720,8 +720,11 @@ func (e *Endpoint) route(inst uint32, in inboundMsg) bool {
 // Instance returns a transport.Conn multiplexed over this endpoint's
 // sockets: its sends tag frames with inst, and its receives see only
 // frames tagged inst. Instance 0 is the endpoint itself; each other id may
-// be claimed once. Closing an instance conn detaches it without touching
-// the endpoint; closing the endpoint closes every instance.
+// be claimed by at most one live conn at a time. Closing an instance conn
+// detaches it and releases its id for a fresh claim -- a replicated log
+// churning through one instance per slot keeps the demux table bounded by
+// its pipeline window -- without touching the endpoint; closing the
+// endpoint closes every instance.
 //
 // Create the instance on BOTH ends before traffic flows: frames for an
 // unregistered instance are dropped (counted as net.mux_drops), matching
@@ -753,6 +756,28 @@ func (e *Endpoint) Instance(inst uint32) (transport.Conn, error) {
 	next[inst] = c
 	e.insts.Store(&next)
 	return c, nil
+}
+
+// release removes a closed instance conn from the demux table so its id can
+// be claimed again and the table does not grow with instance churn. The
+// copy-on-write swap happens under e.mu -- the same lock Instance claims
+// under -- so a release never loses a concurrent claim; the read side
+// (route) keeps its lock-free atomic load. A conn that lost its id to a
+// newer claimant (already-released id, re-claimed) leaves the table alone.
+func (e *Endpoint) release(inst uint32, c *instConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.insts.Load()
+	if cur[inst] != c {
+		return
+	}
+	next := make(map[uint32]*instConn, len(cur))
+	for k, v := range cur {
+		if k != inst {
+			next[k] = v
+		}
+	}
+	e.insts.Store(&next)
 }
 
 // instConn is one multiplexed instance's view of an Endpoint.
@@ -791,10 +816,13 @@ func (c *instConn) Recv() (msg.Message, error) {
 	}
 }
 
-// Close detaches the instance: its Recv unblocks with ErrClosed and
-// subsequent frames for it are dropped. The endpoint and its sockets stay
-// up for the remaining instances.
+// Close detaches the instance: its Recv unblocks with ErrClosed, subsequent
+// frames for it are dropped, and its id is released for a fresh Instance
+// claim. The endpoint and its sockets stay up for the remaining instances.
 func (c *instConn) Close() error {
-	c.closeOnce.Do(func() { close(c.done) })
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.e.release(c.inst, c)
+	})
 	return nil
 }

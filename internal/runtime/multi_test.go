@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"testing"
+
+	"resilient/internal/faults"
+	"resilient/internal/msg"
+)
+
+// multiConfigs builds count independent malicious-protocol instances with
+// per-instance seeds and unanimous inputs alternating by instance.
+func multiConfigs(t *testing.T, count int) []Config {
+	t.Helper()
+	cfgs := make([]Config, count)
+	for i := range cfgs {
+		v := msg.V1
+		if i%3 == 0 {
+			v = msg.V0
+		}
+		cfgs[i] = Config{
+			N: 7, K: 2, Inputs: sameInputs(7, v),
+			Spawn: maliciousSpawner(t),
+			Seed:  uint64(1000 + i*7919),
+		}
+	}
+	return cfgs
+}
+
+// TestRunMultiMatchesSequentialRun pins the core equivalence: each
+// instance's decisions under any window are identical to running its Config
+// alone through Run, because instances interleave on the global clock but
+// never interact.
+func TestRunMultiMatchesSequentialRun(t *testing.T) {
+	cfgs := multiConfigs(t, 9)
+	want := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, window := range []int{1, 2, 4, 16} {
+		got, err := RunMulti(multiConfigs(t, 9), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(cfgs) {
+			t.Fatalf("window %d: %d results for %d instances", window, len(got), len(cfgs))
+		}
+		for i, mr := range got {
+			res := mr.Result
+			if res == nil {
+				t.Fatalf("window %d: instance %d has no result", window, i)
+			}
+			if !res.AllDecided || !res.Agreement {
+				t.Fatalf("window %d: instance %d: decided=%v agreement=%v stalled=%v",
+					window, i, res.AllDecided, res.Agreement, res.Stalled)
+			}
+			if res.Value != want[i].Value {
+				t.Errorf("window %d: instance %d decided %v, sequential Run decided %v",
+					window, i, res.Value, want[i].Value)
+			}
+			if res.MessagesSent != want[i].MessagesSent || res.SimTime != want[i].SimTime {
+				t.Errorf("window %d: instance %d (msgs=%d simtime=%v) diverged from Run (msgs=%d simtime=%v)",
+					window, i, res.MessagesSent, res.SimTime, want[i].MessagesSent, want[i].SimTime)
+			}
+		}
+	}
+}
+
+// TestRunMultiWindowAdmission checks the pipeline-window schedule on the
+// global clock: with window w, instance i is admitted no earlier than any of
+// its predecessors' admissions, at most w instances overlap in [Start, End),
+// and with w > 1 later instances start before earlier ones end (genuine
+// pipelining), which a window of 1 must never do.
+func TestRunMultiWindowAdmission(t *testing.T) {
+	const count = 8
+	for _, window := range []int{1, 3} {
+		got, err := RunMulti(multiConfigs(t, count), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlapped := false
+		for i := 1; i < count; i++ {
+			if got[i].Start < got[i-1].Start {
+				t.Fatalf("window %d: instance %d admitted at %v before instance %d at %v",
+					window, i, got[i].Start, i-1, got[i-1].Start)
+			}
+			if got[i].Start < got[i-1].End {
+				overlapped = true
+				if window == 1 {
+					t.Fatalf("window 1: instance %d started at %v before %d ended at %v",
+						i, got[i].Start, i-1, got[i-1].End)
+				}
+			}
+		}
+		if window > 1 && !overlapped {
+			t.Errorf("window %d: no instances ever overlapped", window)
+		}
+		// No global instant may have more than window instances in flight.
+		for i := range got {
+			inFlight := 0
+			for j := range got {
+				if got[j].Start <= got[i].Start && got[i].Start < got[j].End {
+					inFlight++
+				}
+			}
+			if inFlight > window {
+				t.Fatalf("window %d: %d instances in flight at t=%v", window, inFlight, got[i].Start)
+			}
+		}
+	}
+}
+
+// TestRunMultiDeterministic pins that the whole multi-run -- results and
+// global placement -- is a pure function of the configs.
+func TestRunMultiDeterministic(t *testing.T) {
+	first, err := RunMulti(multiConfigs(t, 6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunMulti(multiConfigs(t, 6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Start != second[i].Start || first[i].End != second[i].End ||
+			first[i].Result.Value != second[i].Result.Value ||
+			first[i].Result.MessagesSent != second[i].Result.MessagesSent {
+			t.Fatalf("instance %d diverged across identical runs: %+v vs %+v",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// TestRunMultiCrashes checks fault plans apply per instance: an instance
+// whose processes are initially dead beyond the proposer set still decides
+// among the survivors, and the crash is reported on that instance only.
+func TestRunMultiCrashes(t *testing.T) {
+	cfgs := multiConfigs(t, 3)
+	cfgs[1].Crashes = faults.InitiallyDead(3, 5)
+	got, err := RunMulti(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mr := range got {
+		res := mr.Result
+		if !res.AllDecided || !res.Agreement {
+			t.Fatalf("instance %d: decided=%v agreement=%v", i, res.AllDecided, res.Agreement)
+		}
+		wantCrashes := 0
+		if i == 1 {
+			wantCrashes = 2
+		}
+		if len(res.Crashed) != wantCrashes {
+			t.Errorf("instance %d crashed %v, want %d crashes", i, res.Crashed, wantCrashes)
+		}
+	}
+}
+
+// TestRunMultiValidation covers the error paths.
+func TestRunMultiValidation(t *testing.T) {
+	if _, err := RunMulti(multiConfigs(t, 2), 0); err == nil {
+		t.Fatal("window 0 must be rejected")
+	}
+	bad := multiConfigs(t, 2)
+	bad[1].N = 0
+	if _, err := RunMulti(bad, 2); err == nil {
+		t.Fatal("invalid instance config must be rejected")
+	}
+	if res, err := RunMulti(nil, 4); err != nil || res != nil {
+		t.Fatalf("empty instance list = (%v, %v), want (nil, nil)", res, err)
+	}
+}

@@ -341,10 +341,25 @@ func (w worldView) CorrectDecidedCounts() (zeros, ones int) {
 // An error indicates an invalid configuration or a Spawner failure, never a
 // protocol misbehaviour: those are reported through the Result.
 func Run(cfg Config) (*Result, error) {
+	started := time.Now() //lint:allow walltime wall-clock run accounting; machines never observe it
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.start()
+	r.loop()
+	r.result.WallClock = time.Since(started) //lint:allow walltime wall-clock run accounting; machines never observe it
+	r.finish()
+	return r.result, nil
+}
+
+// newRunner validates the configuration and builds a runner with its
+// machines spawned but no steps taken. Initial steps happen in start, so a
+// multi-instance scheduler can admit an instance at a chosen global time.
+func newRunner(cfg Config) (*runner, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	started := time.Now() //lint:allow walltime wall-clock run accounting; machines never observe it
 	r := &runner{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
@@ -399,17 +414,17 @@ func Run(cfg Config) (*Result, error) {
 		r.reporters[i], _ = m.(core.ValueReporter)
 		r.harness[i] = policy.NewFaultHarness(m, cfg.Crashes)
 	}
-	// Initial steps.
+	return r, nil
+}
+
+// start takes every machine's initial step, enqueuing its first sends.
+func (r *runner) start() {
 	for i, m := range r.machines {
 		r.stepStamp++
 		r.noteProgress(msg.ID(i)) // a process may be planned to die before starting
 		r.dispatch(msg.ID(i), m.Start())
 		r.checkDecision(msg.ID(i))
 	}
-	r.loop()
-	r.result.WallClock = time.Since(started) //lint:allow walltime wall-clock run accounting; machines never observe it
-	r.finish()
-	return r.result, nil
 }
 
 func (r *runner) isDead(id msg.ID) bool {
@@ -510,37 +525,51 @@ func (r *runner) enqueue(from, to msg.ID, m msg.Message) {
 }
 
 func (r *runner) loop() {
-	maxEvents := r.cfg.MaxEvents
-	if maxEvents <= 0 {
-		maxEvents = DefaultMaxEvents
+	maxEvents := r.maxEvents()
+	for r.stepNext(maxEvents) {
 	}
-	for {
-		if r.mustDecide == 0 && !r.cfg.RunToCompletion {
-			return
-		}
-		if r.result.Events >= maxEvents {
-			r.result.Stalled = EventBudget
-			return
-		}
-		next, ok := r.queue.peek()
-		if !ok {
-			if r.mustDecide > 0 {
-				r.result.Stalled = QueueDrained
-			}
-			return
-		}
-		if r.cfg.MaxSimTime > 0 && next.at > r.cfg.MaxSimTime {
-			if r.mustDecide > 0 {
-				r.result.Stalled = TimeHorizon
-			}
-			return
-		}
-		e := r.queue.pop()
-		r.now = e.at
-		r.result.Events++
-		r.met.events.Inc()
-		r.deliver(e)
+}
+
+// maxEvents resolves the configured event budget.
+func (r *runner) maxEvents() int {
+	if r.cfg.MaxEvents <= 0 {
+		return DefaultMaxEvents
 	}
+	return r.cfg.MaxEvents
+}
+
+// stepNext processes the next pending delivery. It returns false -- without
+// consuming an event -- once the run is over: every correct process decided
+// (unless RunToCompletion), the event budget or time horizon was hit, or the
+// queue drained. This is the single-step face loop and the multi-instance
+// scheduler share, so their per-event semantics cannot diverge.
+func (r *runner) stepNext(maxEvents int) bool {
+	if r.mustDecide == 0 && !r.cfg.RunToCompletion {
+		return false
+	}
+	if r.result.Events >= maxEvents {
+		r.result.Stalled = EventBudget
+		return false
+	}
+	next, ok := r.queue.peek()
+	if !ok {
+		if r.mustDecide > 0 {
+			r.result.Stalled = QueueDrained
+		}
+		return false
+	}
+	if r.cfg.MaxSimTime > 0 && next.at > r.cfg.MaxSimTime {
+		if r.mustDecide > 0 {
+			r.result.Stalled = TimeHorizon
+		}
+		return false
+	}
+	e := r.queue.pop()
+	r.now = e.at
+	r.result.Events++
+	r.met.events.Inc()
+	r.deliver(e)
+	return true
 }
 
 func (r *runner) deliver(e event) {

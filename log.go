@@ -1,0 +1,649 @@
+package resilient
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"resilient/internal/faults"
+	"resilient/internal/livenet"
+	"resilient/internal/metrics"
+	"resilient/internal/msg"
+	"resilient/internal/netxport"
+	"resilient/internal/runtime"
+	"resilient/internal/transport"
+)
+
+// Defaults for the replicated-log layer.
+const (
+	// DefaultLogBatch is the maximum number of operations per slot batch.
+	DefaultLogBatch = 16
+	// DefaultLogPipeline is the window of consensus slots in flight at once.
+	DefaultLogPipeline = 4
+	// DefaultLogLinger is how long the open-loop batcher holds a non-full
+	// batch open waiting for more operations.
+	DefaultLogLinger = 200 * time.Microsecond
+	// maxLogOp bounds a single operation's payload so any batch chunk fits
+	// in one wire frame with room for framing overhead.
+	maxLogOp = msg.MaxPayload - 16
+)
+
+// LogCrash schedules a slot-boundary fail-stop: the process participates
+// fully in every slot before Slot and not at all from Slot on. Slots whose
+// rotating proposer is dead become no-op slots -- the survivors still run
+// consensus for the slot and unanimously decide "no batch", preserving the
+// one-decision-per-slot invariant the commit order is built on.
+type LogCrash struct {
+	// Process is the crashing process.
+	Process ID
+	// Slot is the first slot the process is dead for.
+	Slot int
+}
+
+// LogOptions configures a replicated-log run. The log multiplexes one
+// Figure-2 (authenticated echo) consensus instance per slot over a shared
+// transport: slot s is proposed by process s mod n, carries a batch of
+// operations when that proposer is alive, and commits in slot order.
+type LogOptions struct {
+	// Engine selects the execution engine (default EngineSim).
+	Engine Engine
+	// N is the replica count (default 7); K the fault parameter
+	// (0 = the Figure-2 bound for N).
+	N, K int
+	// Seed selects the execution; per-slot machine seeds derive from it.
+	Seed uint64
+	// Batch is the maximum operations per slot (0 = DefaultLogBatch).
+	Batch int
+	// Pipeline is the window of slots in flight concurrently
+	// (0 = DefaultLogPipeline). Commits are still delivered in slot order
+	// through a reorder buffer bounded by the window.
+	Pipeline int
+	// Linger is the open-loop batcher's hold time for a non-full batch
+	// (0 = DefaultLogLinger); closed-loop RunLog ignores it.
+	Linger time.Duration
+	// Crashes schedules slot-boundary fail-stop deaths. At most K processes
+	// may crash over the whole run.
+	Crashes []LogCrash
+	// TCP tunes the loopback TCP transport on EngineTCP runs.
+	TCP TCPTuning
+	// Unit is the maximum per-message delay on EngineJitter runs
+	// (0 = livenet.DefaultUnit); other engines ignore it.
+	Unit time.Duration
+	// Metrics, when non-nil, receives log accounting under "log." plus the
+	// underlying engine's usual instruments.
+	Metrics *MetricsRegistry
+}
+
+// LogReport summarizes a replicated-log run.
+type LogReport struct {
+	// Engine is the engine that produced this report.
+	Engine Engine
+	// Ops counts committed operations.
+	Ops int
+	// Slots counts consensus instances run, NoopSlots the subset that
+	// decided "no batch" because their proposer was dead, and Batches the
+	// batches committed.
+	Slots, NoopSlots, Batches int
+	// Committed holds every committed operation in commit order. Two runs
+	// of the same seed, ops, and crash plan produce byte-identical
+	// sequences on every engine.
+	Committed [][]byte
+	// SlotDecisions holds each slot's decided value in slot order: V1 for a
+	// committed batch, V0 for a no-op slot.
+	SlotDecisions []Value
+	// Elapsed is the wall-clock duration of the run and OpsPerSec the
+	// committed-operation throughput over it.
+	Elapsed   time.Duration
+	OpsPerSec float64
+	// P50, P95, P99 are commit-latency percentiles -- operation submission
+	// to in-order commit delivery -- on live engines (zero on EngineSim,
+	// whose latencies are virtual; see SimTime).
+	P50, P95, P99 time.Duration
+	// SimTime is the global virtual end time of the run (EngineSim only).
+	SimTime float64
+}
+
+// logMetrics holds the log layer's instrument handles; all fields are nil
+// (free no-ops) when metrics are off.
+type logMetrics struct {
+	slots      *metrics.Counter
+	noops      *metrics.Counter
+	batches    *metrics.Counter
+	ops        *metrics.Counter
+	commitSecs *metrics.Histogram
+	batchOps   *metrics.Histogram
+}
+
+func newLogMetrics(reg *MetricsRegistry) logMetrics {
+	if reg == nil {
+		return logMetrics{}
+	}
+	m := reg.Scoped("log.")
+	return logMetrics{
+		slots:      m.Counter("slots"),
+		noops:      m.Counter("noop_slots"),
+		batches:    m.Counter("batches"),
+		ops:        m.Counter("ops_committed"),
+		commitSecs: m.Histogram("commit_latency_seconds", metrics.TimeBuckets()),
+		batchOps:   m.Histogram("batch_ops", metrics.ExpBuckets(1, 2, 8)),
+	}
+}
+
+// logBatch is one slot's worth of operations with their arrival times
+// (nil submitted = closed loop, latency measured from run start).
+type logBatch struct {
+	ops       [][]byte
+	submitted []time.Time
+}
+
+// slotDesc describes one consensus slot: its rotating proposer, the
+// per-process alive mask under the slot-boundary crash plan, and the batch
+// it carries (nil for a no-op slot).
+type slotDesc struct {
+	slot     int
+	proposer ID
+	run      []bool
+	batch    *logBatch
+}
+
+// logRun is a normalized, validated log configuration.
+type logRun struct {
+	engine  Engine
+	n, k    int
+	seed    uint64
+	batch   int
+	window  int
+	linger  time.Duration
+	crashAt map[ID]int // process -> first dead slot
+	tcp     TCPTuning
+	unit    time.Duration
+	reg     *MetricsRegistry
+	met     logMetrics
+}
+
+func newLogRun(opts LogOptions) (*logRun, error) {
+	r := &logRun{
+		engine: opts.Engine,
+		n:      opts.N,
+		k:      opts.K,
+		seed:   opts.Seed,
+		batch:  opts.Batch,
+		window: opts.Pipeline,
+		linger: opts.Linger,
+		tcp:    opts.TCP,
+		unit:   opts.Unit,
+		reg:    opts.Metrics,
+	}
+	if r.engine == 0 {
+		r.engine = EngineSim
+	}
+	if !r.engine.Valid() {
+		return nil, fmt.Errorf("resilient: unknown engine %d", int(r.engine))
+	}
+	if r.n == 0 {
+		r.n = 7
+	}
+	if r.n < 1 {
+		return nil, fmt.Errorf("resilient: log needs n >= 1, got %d", r.n)
+	}
+	if r.k == 0 {
+		r.k = ProtocolMalicious.MaxFaults(r.n)
+	}
+	if r.k < 0 || r.k > ProtocolMalicious.MaxFaults(r.n) {
+		return nil, fmt.Errorf("resilient: log k=%d exceeds %v bound %d at n=%d",
+			r.k, ProtocolMalicious, ProtocolMalicious.MaxFaults(r.n), r.n)
+	}
+	if r.batch == 0 {
+		r.batch = DefaultLogBatch
+	}
+	if r.batch < 1 {
+		return nil, fmt.Errorf("resilient: log batch %d < 1", r.batch)
+	}
+	if r.window == 0 {
+		r.window = DefaultLogPipeline
+	}
+	if r.window < 1 {
+		return nil, fmt.Errorf("resilient: log pipeline window %d < 1", r.window)
+	}
+	if r.linger == 0 {
+		r.linger = DefaultLogLinger
+	}
+	if len(opts.Crashes) > r.k {
+		return nil, fmt.Errorf("resilient: %d log crashes exceed k=%d", len(opts.Crashes), r.k)
+	}
+	r.crashAt = make(map[ID]int, len(opts.Crashes))
+	for _, c := range opts.Crashes {
+		if int(c.Process) < 0 || int(c.Process) >= r.n {
+			return nil, fmt.Errorf("resilient: log crash process %d outside 0..%d", c.Process, r.n-1)
+		}
+		if c.Slot < 0 {
+			return nil, fmt.Errorf("resilient: log crash slot %d < 0", c.Slot)
+		}
+		if _, dup := r.crashAt[c.Process]; dup {
+			return nil, fmt.Errorf("resilient: duplicate log crash for process %d", c.Process)
+		}
+		r.crashAt[c.Process] = c.Slot
+	}
+	r.met = newLogMetrics(r.reg)
+	return r, nil
+}
+
+// aliveAt reports whether process p participates in slot s.
+func (r *logRun) aliveAt(p ID, s int) bool {
+	at, crashed := r.crashAt[p]
+	return !crashed || s < at
+}
+
+// desc builds slot s's descriptor carrying the given batch; the caller must
+// pass nil exactly when s's proposer is dead.
+func (r *logRun) desc(s int, b *logBatch) slotDesc {
+	d := slotDesc{slot: s, proposer: ID(s % r.n), run: make([]bool, r.n), batch: b}
+	for i := 0; i < r.n; i++ {
+		d.run[i] = r.aliveAt(ID(i), s)
+	}
+	return d
+}
+
+// plan lays batches onto slots: each batch takes the next slot whose
+// rotating proposer is alive, and every dead-proposer slot skipped on the
+// way becomes a no-op slot (the survivors still decide it, to V0). The
+// slot sequence -- hence the commit order -- is a pure function of the
+// batch sequence and the crash plan, which is what makes the committed
+// sequence engine-independent.
+func (r *logRun) plan(batches []*logBatch) []slotDesc {
+	var descs []slotDesc
+	s := 0
+	for _, b := range batches {
+		for !r.aliveAt(ID(s%r.n), s) {
+			descs = append(descs, r.desc(s, nil))
+			s++
+		}
+		descs = append(descs, r.desc(s, b))
+		s++
+	}
+	return descs
+}
+
+// slotSeed derives slot s's machine seed.
+func (r *logRun) slotSeed(s int) uint64 {
+	return r.seed ^ (uint64(s)+1)*0x94d049bb133111eb
+}
+
+// slotInputs returns the unanimous per-process input for a slot: V1
+// (commit the batch) when the proposer is alive, V0 (no-op) otherwise.
+func (d *slotDesc) inputs(n int) []Value {
+	v := msg.V0
+	if d.batch != nil {
+		v = msg.V1
+	}
+	in := make([]Value, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// batchFrames packs a batch's operations into length-prefixed wire chunks,
+// each within the frame payload bound.
+func batchFrames(ops [][]byte) [][]byte {
+	var frames [][]byte
+	var cur []byte
+	var buf [binary.MaxVarintLen64]byte
+	for _, op := range ops {
+		n := binary.PutUvarint(buf[:], uint64(len(op)))
+		if len(cur) > 0 && len(cur)+n+len(op) > msg.MaxPayload {
+			frames = append(frames, cur)
+			cur = nil
+		}
+		cur = append(cur, buf[:n]...)
+		cur = append(cur, op...)
+	}
+	if len(cur) > 0 {
+		frames = append(frames, cur)
+	}
+	return frames
+}
+
+// RunLog runs the replicated log to completion over a fixed operation list
+// (closed loop): the operations are batched Batch at a time, each batch is
+// committed through its own consensus slot with up to Pipeline slots in
+// flight, and the report's Committed sequence reflects in-order commit
+// delivery. The same (ops, seed, crash plan) produces a byte-identical
+// committed sequence on every engine.
+func RunLog(ctx context.Context, opts LogOptions, ops [][]byte) (*LogReport, error) {
+	r, err := newLogRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		if len(op) > maxLogOp {
+			return nil, fmt.Errorf("resilient: log op %d is %d bytes (max %d)", i, len(op), maxLogOp)
+		}
+	}
+	var batches []*logBatch
+	for lo := 0; lo < len(ops); lo += r.batch {
+		hi := lo + r.batch
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		batches = append(batches, &logBatch{ops: ops[lo:hi]})
+	}
+	if r.engine == EngineSim {
+		return r.runSim(batches)
+	}
+	ch := make(chan *logBatch, len(batches))
+	for _, b := range batches {
+		ch <- b
+	}
+	close(ch)
+	return r.runLive(ctx, ch)
+}
+
+// runSim executes the planned slots on the deterministic simulator via
+// runtime.RunMulti: every slot is an independent instance config and the
+// pipeline window is the multi-run's admission window on the shared global
+// virtual clock.
+func (r *logRun) runSim(batches []*logBatch) (*LogReport, error) {
+	start := time.Now()
+	descs := r.plan(batches)
+	cfgs := make([]runtime.Config, len(descs))
+	for i, d := range descs {
+		seed := r.slotSeed(d.slot)
+		spawner, err := spawnerFor(ProtocolMalicious, SimOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var dead []msg.ID
+		for p, ok := range d.run {
+			if !ok {
+				dead = append(dead, msg.ID(p))
+			}
+		}
+		cfgs[i] = runtime.Config{
+			N:       r.n,
+			K:       r.k,
+			Inputs:  d.inputs(r.n),
+			Spawn:   spawner,
+			Crashes: faults.InitiallyDead(dead...),
+			Seed:    seed,
+			Metrics: r.reg,
+		}
+	}
+	mrs, err := runtime.RunMulti(cfgs, r.window)
+	if err != nil {
+		return nil, err
+	}
+	rep := &LogReport{Engine: EngineSim}
+	for i, mr := range mrs {
+		res := mr.Result
+		if !res.AllDecided || !res.Agreement {
+			return nil, fmt.Errorf("resilient: log slot %d: decided=%v agreement=%v stalled=%v",
+				descs[i].slot, res.AllDecided, res.Agreement, res.Stalled)
+		}
+		r.recordSlot(rep, descs[i], res.Value, time.Time{})
+		if mr.End > rep.SimTime {
+			rep.SimTime = mr.End
+		}
+	}
+	r.finishReport(rep, start, nil)
+	return rep, nil
+}
+
+// slotRes is one finished slot on a live engine.
+type slotRes struct {
+	desc slotDesc
+	out  livenet.InstanceOutcome
+	err  error
+}
+
+// runLive executes batches arriving on ch over a live engine with up to
+// window slots in flight. Slot transports: EngineTCP multiplexes every slot
+// over ONE shared loopback mesh via per-slot netxport instance conns;
+// EngineMem and EngineJitter give each slot a fresh in-memory system.
+// Commits are delivered in slot order through a reorder buffer bounded by
+// the window, and each operation's latency is measured from submission to
+// that in-order delivery point.
+func (r *logRun) runLive(ctx context.Context, ch <-chan *logBatch) (*LogReport, error) {
+	start := time.Now()
+	var endpoints []*netxport.Endpoint
+	if r.engine == EngineTCP {
+		eps, err := tcpMeshEndpoints(r.n, r.reg, r.tcp)
+		if err != nil {
+			return nil, err
+		}
+		endpoints = eps
+		defer func() {
+			for _, ep := range endpoints {
+				ep.Close()
+			}
+		}()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resCh := make(chan slotRes, r.window)
+	sem := make(chan struct{}, r.window)
+	var wg sync.WaitGroup
+
+	// Collector: reorder finished slots into slot order and commit at the
+	// frontier. Commit latency is stamped HERE -- a slot that finished early
+	// but sits behind a straggler in the window has not committed yet.
+	rep := &LogReport{Engine: r.engine}
+	var lats []time.Duration
+	var runErr error
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		pendingRes := make(map[int]slotRes, r.window)
+		frontier := 0
+		for res := range resCh {
+			pendingRes[res.desc.slot] = res
+			for {
+				next, ok := pendingRes[frontier]
+				if !ok {
+					break
+				}
+				delete(pendingRes, frontier)
+				frontier++
+				if next.err != nil {
+					if runErr == nil {
+						runErr = fmt.Errorf("resilient: log slot %d: %w", next.desc.slot, next.err)
+						cancel()
+					}
+					continue
+				}
+				if !next.out.Agreement {
+					if runErr == nil {
+						runErr = fmt.Errorf("resilient: log slot %d: replicas disagreed", next.desc.slot)
+						cancel()
+					}
+					continue
+				}
+				now := time.Now()
+				r.recordSlot(rep, next.desc, next.out.Value, now)
+				if b := next.desc.batch; b != nil && next.out.Value == msg.V1 {
+					for i := range b.ops {
+						at := start
+						if b.submitted != nil {
+							at = b.submitted[i]
+						}
+						l := now.Sub(at)
+						lats = append(lats, l)
+						r.met.commitSecs.Observe(l.Seconds())
+					}
+				}
+			}
+		}
+	}()
+
+	launch := func(d slotDesc) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, err := r.runLiveSlot(runCtx, d, endpoints)
+			resCh <- slotRes{desc: d, out: out, err: err}
+		}()
+	}
+
+	s := 0
+dispatch:
+	for b := range ch {
+		for !r.aliveAt(ID(s%r.n), s) {
+			launch(r.desc(s, nil))
+			s++
+			if runCtx.Err() != nil {
+				break dispatch
+			}
+		}
+		launch(r.desc(s, b))
+		s++
+		if runCtx.Err() != nil {
+			break
+		}
+	}
+	wg.Wait()
+	close(resCh)
+	<-collectorDone
+
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	r.finishReport(rep, start, lats)
+	return rep, runErr
+}
+
+// runLiveSlot runs one consensus slot over the engine's transport. On TCP
+// the slot claims instance id slot+1 on every live endpoint (id 0 is the
+// endpoints' own base channel); dead replicas never claim theirs, so frames
+// addressed to them are dropped by the demux exactly like traffic to a
+// crashed host's dead process. The proposer ships the batch payload as
+// length-prefixed Graph frames on the slot's own conns before consensus
+// starts -- consensus machines ignore the payload kind, but the bytes cross
+// the real wire, so throughput numbers include payload transfer.
+func (r *logRun) runLiveSlot(ctx context.Context, d slotDesc, endpoints []*netxport.Endpoint) (livenet.InstanceOutcome, error) {
+	seed := r.slotSeed(d.slot)
+	machines, err := buildMachines(ProtocolMalicious, r.n, r.k, d.inputs(r.n), seed)
+	if err != nil {
+		return livenet.InstanceOutcome{}, err
+	}
+	conns := make([]transport.Conn, r.n)
+	switch r.engine {
+	case EngineTCP:
+		inst := uint32(d.slot) + 1
+		for i := 0; i < r.n; i++ {
+			if !d.run[i] {
+				continue
+			}
+			c, err := endpoints[i].Instance(inst)
+			if err != nil {
+				for _, pc := range conns {
+					if pc != nil {
+						pc.Close()
+					}
+				}
+				return livenet.InstanceOutcome{}, fmt.Errorf("slot %d instance conn p%d: %w", d.slot, i, err)
+			}
+			conns[i] = c
+		}
+	case EngineMem, EngineJitter:
+		var net interface {
+			Conn(msg.ID) (transport.Conn, error)
+			Close()
+		}
+		if r.engine == EngineJitter {
+			maxDelay := r.unit
+			if maxDelay <= 0 {
+				maxDelay = livenet.DefaultUnit
+			}
+			net = transport.NewJitter(r.n, maxDelay, seed)
+		} else {
+			net = transport.NewMem(r.n)
+		}
+		defer net.Close()
+		for i := 0; i < r.n; i++ {
+			if !d.run[i] {
+				continue
+			}
+			c, err := net.Conn(msg.ID(i))
+			if err != nil {
+				return livenet.InstanceOutcome{}, err
+			}
+			conns[i] = c
+		}
+	default:
+		return livenet.InstanceOutcome{}, fmt.Errorf("resilient: engine %v is not live", r.engine)
+	}
+
+	if b := d.batch; b != nil {
+		src := conns[d.proposer]
+		for chunk, frame := range batchFrames(b.ops) {
+			m := msg.Graph(d.proposer, Phase(chunk), frame)
+			for p := 0; p < r.n; p++ {
+				if p == int(d.proposer) || !d.run[p] {
+					continue
+				}
+				if err := src.Send(ID(p), m); err != nil {
+					for _, pc := range conns {
+						if pc != nil {
+							pc.Close()
+						}
+					}
+					return livenet.InstanceOutcome{}, fmt.Errorf("slot %d payload to p%d: %w", d.slot, p, err)
+				}
+			}
+		}
+	}
+	return livenet.RunInstance(ctx, machines, conns, d.run, r.reg)
+}
+
+// recordSlot folds one decided slot into the report (commitAt is zero on
+// the simulator).
+func (r *logRun) recordSlot(rep *LogReport, d slotDesc, v Value, commitAt time.Time) {
+	rep.Slots++
+	rep.SlotDecisions = append(rep.SlotDecisions, v)
+	r.met.slots.Inc()
+	if d.batch == nil {
+		rep.NoopSlots++
+		r.met.noops.Inc()
+		return
+	}
+	if v != msg.V1 {
+		// An alive proposer's batch slot decided no-op: the batch is lost,
+		// which the committed sequence (and the parity test) will expose.
+		return
+	}
+	rep.Batches++
+	rep.Ops += len(d.batch.ops)
+	rep.Committed = append(rep.Committed, d.batch.ops...)
+	r.met.batches.Inc()
+	r.met.ops.Add(int64(len(d.batch.ops)))
+	r.met.batchOps.Observe(float64(len(d.batch.ops)))
+}
+
+// finishReport stamps duration, throughput, and (live) latency percentiles.
+func (r *logRun) finishReport(rep *LogReport, start time.Time, lats []time.Duration) {
+	rep.Elapsed = time.Since(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+	}
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	rep.P50, rep.P95, rep.P99 = rank(0.50), rank(0.95), rank(0.99)
+}

@@ -1,0 +1,327 @@
+package resilient
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"resilient/internal/msg"
+)
+
+func testLogOps(count, size int) [][]byte {
+	ops := make([][]byte, count)
+	for i := range ops {
+		op := make([]byte, size)
+		binary.BigEndian.PutUint64(op, uint64(i))
+		for j := 8; j < size; j++ {
+			op[j] = byte(i * 31)
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+func logCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestRunLogSim pins the closed-loop log on the simulator: every op commits
+// exactly once in submission order, slot accounting matches the batch math,
+// and the whole run is deterministic.
+func TestRunLogSim(t *testing.T) {
+	ops := testLogOps(50, 16)
+	opts := LogOptions{Engine: EngineSim, N: 7, Seed: 42, Batch: 8, Pipeline: 4}
+	rep, err := RunLog(logCtx(t), opts, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 50 || rep.Batches != 7 || rep.Slots != 7 || rep.NoopSlots != 0 {
+		t.Fatalf("ops=%d batches=%d slots=%d noops=%d, want 50/7/7/0",
+			rep.Ops, rep.Batches, rep.Slots, rep.NoopSlots)
+	}
+	if len(rep.Committed) != len(ops) {
+		t.Fatalf("%d committed ops, want %d", len(rep.Committed), len(ops))
+	}
+	for i, op := range ops {
+		if !bytes.Equal(rep.Committed[i], op) {
+			t.Fatalf("committed[%d] differs from submitted op %d", i, i)
+		}
+	}
+	if rep.SimTime <= 0 {
+		t.Fatal("sim run reported no virtual time")
+	}
+	again, err := RunLog(logCtx(t), opts, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SimTime != rep.SimTime || again.Slots != rep.Slots {
+		t.Fatalf("identical runs diverged: simtime %v vs %v", again.SimTime, rep.SimTime)
+	}
+}
+
+// TestRunLogCrashes pins slot-boundary crashes on the simulator: slots whose
+// rotating proposer is dead become no-op slots (decided V0 by the
+// survivors), and every operation still commits in order.
+func TestRunLogCrashes(t *testing.T) {
+	ops := testLogOps(40, 16)
+	opts := LogOptions{
+		Engine: EngineSim, N: 7, Seed: 7, Batch: 4, Pipeline: 2,
+		Crashes: []LogCrash{{Process: 2, Slot: 1}, {Process: 4, Slot: 3}},
+	}
+	rep, err := RunLog(logCtx(t), opts, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoopSlots == 0 {
+		t.Fatal("crash plan produced no no-op slots")
+	}
+	if rep.Ops != 40 || rep.Batches != 10 {
+		t.Fatalf("ops=%d batches=%d, want 40/10", rep.Ops, rep.Batches)
+	}
+	if rep.Slots != rep.Batches+rep.NoopSlots || len(rep.SlotDecisions) != rep.Slots {
+		t.Fatalf("slots=%d batches=%d noops=%d decisions=%d",
+			rep.Slots, rep.Batches, rep.NoopSlots, len(rep.SlotDecisions))
+	}
+	// Check the decision pattern against the plan: slot s is no-op exactly
+	// when proposer s mod 7 is dead at s.
+	dead := func(p ID, s int) bool {
+		return (p == 2 && s >= 1) || (p == 4 && s >= 3)
+	}
+	for s, v := range rep.SlotDecisions {
+		want := msg.V1
+		if dead(ID(s%7), s) {
+			want = msg.V0
+		}
+		if v != want {
+			t.Fatalf("slot %d decided %v, want %v", s, v, want)
+		}
+	}
+	for i, op := range ops {
+		if !bytes.Equal(rep.Committed[i], op) {
+			t.Fatalf("committed[%d] differs from submitted op %d", i, i)
+		}
+	}
+}
+
+// TestLogEngineParity is the cross-engine determinism check: the same
+// (ops, seed, batch, crash plan) commits a byte-identical operation
+// sequence with identical per-slot decisions on the simulator, the
+// in-memory engine, and real TCP.
+func TestLogEngineParity(t *testing.T) {
+	ops := testLogOps(48, 24)
+	base := LogOptions{
+		N: 7, Seed: 99, Batch: 8, Pipeline: 3,
+		Crashes: []LogCrash{{Process: 1, Slot: 2}, {Process: 6, Slot: 0}},
+	}
+	type run struct {
+		engine Engine
+		rep    *LogReport
+	}
+	var runs []run
+	for _, engine := range []Engine{EngineSim, EngineMem, EngineTCP} {
+		opts := base
+		opts.Engine = engine
+		rep, err := RunLog(logCtx(t), opts, ops)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		runs = append(runs, run{engine, rep})
+	}
+	want := runs[0].rep
+	if len(want.Committed) != len(ops) {
+		t.Fatalf("sim committed %d/%d ops", len(want.Committed), len(ops))
+	}
+	for _, r := range runs[1:] {
+		if r.rep.Slots != want.Slots || r.rep.NoopSlots != want.NoopSlots {
+			t.Fatalf("%v ran %d slots (%d noop), sim ran %d (%d)",
+				r.engine, r.rep.Slots, r.rep.NoopSlots, want.Slots, want.NoopSlots)
+		}
+		if len(r.rep.SlotDecisions) != len(want.SlotDecisions) {
+			t.Fatalf("%v decided %d slots, sim %d", r.engine, len(r.rep.SlotDecisions), len(want.SlotDecisions))
+		}
+		for s := range want.SlotDecisions {
+			if r.rep.SlotDecisions[s] != want.SlotDecisions[s] {
+				t.Fatalf("%v slot %d decided %v, sim decided %v",
+					r.engine, s, r.rep.SlotDecisions[s], want.SlotDecisions[s])
+			}
+		}
+		if len(r.rep.Committed) != len(want.Committed) {
+			t.Fatalf("%v committed %d ops, sim %d", r.engine, len(r.rep.Committed), len(want.Committed))
+		}
+		for i := range want.Committed {
+			if !bytes.Equal(r.rep.Committed[i], want.Committed[i]) {
+				t.Fatalf("%v committed[%d] diverges from sim", r.engine, i)
+			}
+		}
+	}
+}
+
+// TestRunLogTCPMetrics runs a small log over real TCP with metrics on and
+// checks the log instruments and commit-latency percentiles line up.
+func TestRunLogTCPMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	ops := testLogOps(24, 16)
+	rep, err := RunLog(logCtx(t), LogOptions{
+		Engine: EngineTCP, N: 4, Seed: 5, Batch: 8, Pipeline: 2, Metrics: reg,
+	}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 24 || rep.NoopSlots != 0 {
+		t.Fatalf("ops=%d noops=%d, want 24/0", rep.Ops, rep.NoopSlots)
+	}
+	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 {
+		t.Fatalf("latency percentiles out of order: p50=%v p95=%v p99=%v", rep.P50, rep.P95, rep.P99)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatal("no throughput reported")
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"log.slots":         int64(rep.Slots),
+		"log.batches":       int64(rep.Batches),
+		"log.ops_committed": int64(rep.Ops),
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if h, ok := snap.Histograms["log.commit_latency_seconds"]; !ok || h.Count != uint64(rep.Ops) {
+		t.Errorf("commit latency histogram count = %+v, want %d observations", h, rep.Ops)
+	}
+}
+
+// TestRunLogWorkloadOpenLoop drives the paced open-loop workload over the
+// in-memory engine: every generated operation commits, and latency
+// percentiles are populated.
+func TestRunLogWorkloadOpenLoop(t *testing.T) {
+	rep, err := RunLogWorkload(logCtx(t), LogWorkloadOptions{
+		Log:  LogOptions{Engine: EngineMem, N: 4, Seed: 11, Batch: 8, Pipeline: 4},
+		Ops:  200,
+		Rate: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 200 {
+		t.Fatalf("committed %d/200 ops", rep.Ops)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("bad percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	if rep.Batches < 200/8 {
+		t.Fatalf("only %d batches for 200 ops at batch 8", rep.Batches)
+	}
+}
+
+// TestRunLogWorkloadSimDeterministic pins that the sim workload is a pure
+// function of its options (the generator is seeded, the engine virtual).
+func TestRunLogWorkloadSimDeterministic(t *testing.T) {
+	opts := LogWorkloadOptions{
+		Log: LogOptions{Engine: EngineSim, N: 7, Seed: 3, Batch: 16, Pipeline: 4},
+		Ops: 128,
+	}
+	a, err := RunLogWorkload(logCtx(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLogWorkload(logCtx(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != 128 || b.Ops != 128 || a.SimTime != b.SimTime || len(a.Committed) != len(b.Committed) {
+		t.Fatalf("sim workload diverged: %v vs %v virtual time", a.SimTime, b.SimTime)
+	}
+	for i := range a.Committed {
+		if !bytes.Equal(a.Committed[i], b.Committed[i]) {
+			t.Fatalf("committed[%d] diverged across identical sim runs", i)
+		}
+	}
+}
+
+// TestBatchFrames pins the payload chunker: frames stay within the wire
+// bound and concatenate back to the original operations.
+func TestBatchFrames(t *testing.T) {
+	big := testLogOps(5, maxLogOp/2)
+	frames := batchFrames(big)
+	if len(frames) < 2 {
+		t.Fatalf("oversized batch packed into %d frame(s)", len(frames))
+	}
+	var joined []byte
+	for _, f := range frames {
+		if len(f) > msg.MaxPayload {
+			t.Fatalf("frame of %d bytes exceeds MaxPayload", len(f))
+		}
+		joined = append(joined, f...)
+	}
+	i := 0
+	for _, want := range big {
+		l, n := binary.Uvarint(joined[i:])
+		if n <= 0 || int(l) != len(want) {
+			t.Fatalf("bad length prefix at %d", i)
+		}
+		i += n
+		if !bytes.Equal(joined[i:i+int(l)], want) {
+			t.Fatal("frame payload diverges from op")
+		}
+		i += int(l)
+	}
+	if i != len(joined) {
+		t.Fatalf("%d trailing bytes after ops", len(joined)-i)
+	}
+	if got := batchFrames(nil); got != nil {
+		t.Fatalf("empty batch produced %d frames", len(got))
+	}
+}
+
+// TestLogOptionValidation covers the option error paths.
+func TestLogOptionValidation(t *testing.T) {
+	ctx := logCtx(t)
+	ops := testLogOps(4, 16)
+	cases := []LogOptions{
+		{Engine: Engine(99)},
+		{N: -1},
+		{N: 7, K: 3},
+		{N: 7, Batch: -1},
+		{N: 7, Pipeline: -1},
+		{N: 7, Crashes: []LogCrash{{Process: 9, Slot: 0}}},
+		{N: 7, Crashes: []LogCrash{{Process: 1, Slot: -1}}},
+		{N: 7, Crashes: []LogCrash{{Process: 1, Slot: 0}, {Process: 1, Slot: 2}}},
+		{N: 7, Crashes: []LogCrash{{Process: 1, Slot: 0}, {Process: 2, Slot: 0}, {Process: 3, Slot: 0}}},
+	}
+	for i, opts := range cases {
+		if _, err := RunLog(ctx, opts, ops); err == nil {
+			t.Errorf("case %d (%+v): no error", i, opts)
+		}
+	}
+	if _, err := RunLog(ctx, LogOptions{N: 4}, [][]byte{make([]byte, maxLogOp+1)}); err == nil {
+		t.Error("oversized op accepted")
+	}
+	if _, err := RunLogWorkload(ctx, LogWorkloadOptions{Ops: -1}); err == nil {
+		t.Error("negative op count accepted")
+	}
+	if _, err := RunLogWorkload(ctx, LogWorkloadOptions{OpBytes: 4}); err == nil {
+		t.Error("op size below header accepted")
+	}
+	if _, err := RunLogWorkload(ctx, LogWorkloadOptions{Rate: -5}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// TestRunLogEmpty: an empty op list is a no-op run on every engine.
+func TestRunLogEmpty(t *testing.T) {
+	for _, engine := range []Engine{EngineSim, EngineMem} {
+		rep, err := RunLog(logCtx(t), LogOptions{Engine: engine, N: 4}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if rep.Ops != 0 || rep.Slots != 0 || len(rep.Committed) != 0 {
+			t.Fatalf("%v: empty run committed %+v", engine, rep)
+		}
+	}
+}

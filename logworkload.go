@@ -1,0 +1,176 @@
+package resilient
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Defaults for the open-loop log workload.
+const (
+	// DefaultWorkloadOps is the number of operations generated.
+	DefaultWorkloadOps = 4096
+	// DefaultWorkloadClients is the simulated client population.
+	DefaultWorkloadClients = 64
+	// DefaultWorkloadOpBytes is the operation payload size.
+	DefaultWorkloadOpBytes = 16
+	// workloadOpHeader is the fixed op prefix: sequence (8) + client (4).
+	workloadOpHeader = 12
+)
+
+// LogWorkloadOptions configures an open-loop replicated-log workload: a
+// generator submits operations on a paced arrival schedule regardless of
+// commit progress (open loop -- queueing delay is measured, not hidden),
+// an adaptive batcher folds arrivals into slot batches (full batch OR
+// linger expiry, mirroring the TCP transport's write coalescer), and the
+// log pipeline commits them.
+type LogWorkloadOptions struct {
+	// Log configures the underlying replicated log.
+	Log LogOptions
+	// Ops is the total operations to submit (0 = DefaultWorkloadOps).
+	Ops int
+	// Rate is the target arrival rate in ops/sec with exponential
+	// inter-arrival times. 0 submits every operation up front (unpaced:
+	// the closed-loop maximum-throughput shape).
+	Rate float64
+	// Clients is the simulated client population; each operation is stamped
+	// with a client drawn from it (0 = DefaultWorkloadClients).
+	Clients int
+	// OpBytes is each operation's payload size, at least the 12-byte
+	// sequence+client header (0 = DefaultWorkloadOpBytes).
+	OpBytes int
+}
+
+// genWorkloadOps deterministically generates the workload's operations:
+// a sequence number, a client id drawn from the seeded RNG, and padding to
+// OpBytes.
+func genWorkloadOps(seed uint64, count, clients, opBytes int) [][]byte {
+	rng := newRand(seed ^ 0xc2b2ae3d27d4eb4f)
+	ops := make([][]byte, count)
+	buf := make([]byte, count*opBytes)
+	for i := range ops {
+		op := buf[i*opBytes : (i+1)*opBytes]
+		binary.BigEndian.PutUint64(op[0:8], uint64(i))
+		binary.BigEndian.PutUint32(op[8:12], uint32(rng.IntN(clients)))
+		for j := workloadOpHeader; j < opBytes; j++ {
+			op[j] = byte(i >> (j % 8))
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// RunLogWorkload drives the replicated log with a generated workload and
+// reports committed throughput and commit-latency percentiles. With Rate 0,
+// or on EngineSim (whose clock is virtual), the workload degenerates to the
+// closed-loop RunLog over the same deterministically generated operations.
+func RunLogWorkload(ctx context.Context, opts LogWorkloadOptions) (*LogReport, error) {
+	count := opts.Ops
+	if count == 0 {
+		count = DefaultWorkloadOps
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("resilient: workload ops %d < 1", count)
+	}
+	clients := opts.Clients
+	if clients == 0 {
+		clients = DefaultWorkloadClients
+	}
+	if clients < 1 {
+		return nil, fmt.Errorf("resilient: workload clients %d < 1", clients)
+	}
+	opBytes := opts.OpBytes
+	if opBytes == 0 {
+		opBytes = DefaultWorkloadOpBytes
+	}
+	if opBytes < workloadOpHeader {
+		return nil, fmt.Errorf("resilient: workload op size %d < %d-byte header", opBytes, workloadOpHeader)
+	}
+	if opts.Rate < 0 {
+		return nil, fmt.Errorf("resilient: workload rate %v < 0", opts.Rate)
+	}
+
+	ops := genWorkloadOps(opts.Log.Seed, count, clients, opBytes)
+	r, err := newLogRun(opts.Log)
+	if err != nil {
+		return nil, err
+	}
+	if r.engine == EngineSim || opts.Rate == 0 {
+		return RunLog(ctx, opts.Log, ops)
+	}
+
+	ch := make(chan *logBatch, 2*r.window)
+	go r.feedOpenLoop(ctx, ch, ops, opts.Rate)
+	return r.runLive(ctx, ch)
+}
+
+// feedOpenLoop submits ops on an exponential arrival schedule at rate
+// ops/sec and batches them adaptively: a batch closes when full or when its
+// oldest operation has lingered past the linger window, whichever is first.
+// The schedule never waits for commits -- if the pipeline falls behind, the
+// batcher queue grows and the delay shows up in commit latency, which is
+// the point of an open-loop driver.
+func (r *logRun) feedOpenLoop(ctx context.Context, ch chan<- *logBatch, ops [][]byte, rate float64) {
+	defer close(ch)
+	rng := newRand(r.seed ^ 0x9e3779b97f4a7c15)
+	var cur *logBatch
+	var lingerEnd time.Time
+	flush := func() bool {
+		if cur == nil {
+			return true
+		}
+		select {
+		case ch <- cur:
+			cur = nil
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	next := time.Now()
+	for _, op := range ops {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		next = next.Add(time.Duration(-math.Log(u) / rate * float64(time.Second)))
+		for {
+			now := time.Now()
+			if cur != nil && !lingerEnd.After(now) {
+				if !flush() {
+					return
+				}
+			}
+			if !next.After(now) {
+				break
+			}
+			sleep := next.Sub(now)
+			if cur != nil {
+				if d := lingerEnd.Sub(now); d < sleep {
+					sleep = d
+				}
+			}
+			timer := time.NewTimer(sleep)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		if cur == nil {
+			cur = &logBatch{}
+			lingerEnd = time.Now().Add(r.linger)
+		}
+		cur.ops = append(cur.ops, op)
+		cur.submitted = append(cur.submitted, time.Now())
+		if len(cur.ops) >= r.batch {
+			if !flush() {
+				return
+			}
+		}
+	}
+	flush()
+}
