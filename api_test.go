@@ -135,6 +135,7 @@ func TestProtocolStringsAndValidity(t *testing.T) {
 	all := []Protocol{
 		ProtocolFailStop, ProtocolMalicious, ProtocolMajority,
 		ProtocolBenOrCrash, ProtocolBenOrByzantine, ProtocolBivalence,
+		ProtocolBroadcast,
 	}
 	for _, p := range all {
 		if !p.Valid() {

@@ -153,6 +153,48 @@ func BenchmarkSimulateZeroAlloc(b *testing.B) {
 	}
 }
 
+// Broadcast-primitive benchmarks: one full reliable broadcast per iteration
+// under the discrete-event engine, echo (full-quorum, O(n²) messages) vs
+// sample (O(n·E) messages, ε = 1e-3) at matched sizes. RunToCompletion keeps
+// every send on the measured path, and msgs/broadcast reports the traffic
+// the sampled scheme exists to cut. The CI bench-scale lane snapshots these
+// numbers into BENCH_broadcast.json; n=10,000 runs under the sampled scheme
+// only (the echo scheme's 10⁸ messages exceed the engine's event budget,
+// which is the point).
+func benchBroadcast(b *testing.B, scheme BroadcastScheme, n int) {
+	b.Helper()
+	k := n / 10
+	inputs := make([]Value, n)
+	for i := range inputs {
+		inputs[i] = V1
+	}
+	var msgs int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(ProtocolBroadcast, n, k, inputs, SimOptions{
+			Seed: uint64(i) + 1, Broadcast: scheme, RunToCompletion: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement || len(res.Decisions) < n-1 {
+			b.Fatalf("iteration %d: agreement=%v delivered=%d/%d",
+				i, res.Agreement, len(res.Decisions), n)
+		}
+		msgs = res.MessagesSent
+	}
+	b.ReportMetric(float64(msgs), "msgs/broadcast")
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	b.Run("echo/n=100", func(b *testing.B) { benchBroadcast(b, SchemeEcho, 100) })
+	b.Run("echo/n=1000", func(b *testing.B) { benchBroadcast(b, SchemeEcho, 1000) })
+	b.Run("sample/n=100", func(b *testing.B) { benchBroadcast(b, SchemeSample, 100) })
+	b.Run("sample/n=1000", func(b *testing.B) { benchBroadcast(b, SchemeSample, 1000) })
+	b.Run("sample/n=10000", func(b *testing.B) { benchBroadcast(b, SchemeSample, 10000) })
+}
+
 // Live-path benchmarks: full consensus executions over real loopback TCP
 // sockets, tracked by the CI bench-live lane next to the netxport loopback
 // micro-benchmark. Each iteration stands up a fresh mesh, runs to decision,

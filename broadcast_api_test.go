@@ -1,0 +1,158 @@
+package resilient
+
+import (
+	"context"
+	"testing"
+)
+
+func sameInputs(n int, v Value) []Value {
+	in := make([]Value, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// TestSimulateBroadcastEchoScheme runs the broadcast protocol over the
+// default full-quorum primitive: every process must deliver p0's input.
+func TestSimulateBroadcastEchoScheme(t *testing.T) {
+	const n, k = 50, 5
+	res, err := Simulate(ProtocolBroadcast, n, k, sameInputs(n, V1), SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.AllDecided || res.Value != V1 {
+		t.Fatalf("echo broadcast: agreement=%v allDecided=%v value=%v",
+			res.Agreement, res.AllDecided, res.Value)
+	}
+}
+
+// TestSimulateBroadcastSampledScheme runs the broadcast protocol over the
+// sampled primitive at a size the full-quorum scheme would already strain,
+// and pins the message reduction the scheme exists for.
+func TestSimulateBroadcastSampledScheme(t *testing.T) {
+	const n, k = 1000, 100
+	sampled, err := Simulate(ProtocolBroadcast, n, k, sameInputs(n, V1), SimOptions{
+		Seed: 2, Broadcast: SchemeSample, RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Agreement || sampled.Value != V1 {
+		t.Fatalf("sampled broadcast: agreement=%v value=%v", sampled.Agreement, sampled.Value)
+	}
+	if len(sampled.Decisions) < n-1 { // ε-delivery: allow stray sampling misses
+		t.Fatalf("sampled broadcast delivered %d/%d", len(sampled.Decisions), n)
+	}
+
+	echo, err := Simulate(ProtocolBroadcast, n, k, sameInputs(n, V1), SimOptions{
+		Seed: 2, RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(echo.MessagesSent) / float64(sampled.MessagesSent); ratio < 5 {
+		t.Errorf("sampled scheme sent %d msgs vs echo %d: reduction %.1fx, want >= 5x",
+			sampled.MessagesSent, echo.MessagesSent, ratio)
+	}
+}
+
+// TestSimulateMaliciousSampledScheme runs full Figure-2 consensus over the
+// sampled echo primitive through the public API: agreement, validity, and
+// fewer messages than the full-quorum run.
+func TestSimulateMaliciousSampledScheme(t *testing.T) {
+	const n, k = 100, 10
+	sampled, err := Simulate(ProtocolMalicious, n, k, sameInputs(n, V0), SimOptions{
+		Seed: 3, Broadcast: SchemeSample, RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Agreement || !sampled.AllDecided || sampled.Value != V0 {
+		t.Fatalf("sampled consensus: agreement=%v allDecided=%v value=%v",
+			sampled.Agreement, sampled.AllDecided, sampled.Value)
+	}
+	full, err := Simulate(ProtocolMalicious, n, k, sameInputs(n, V0), SimOptions{
+		Seed: 3, RunToCompletion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.MessagesSent >= full.MessagesSent {
+		t.Errorf("sampled consensus sent %d msgs, full-quorum %d", sampled.MessagesSent, full.MessagesSent)
+	}
+}
+
+// TestSimulateSampledWithSilentAdversaries keeps the Byzantine plumbing
+// honest: silent adversaries under the sampled scheme must not block
+// agreement among the correct processes.
+func TestSimulateSampledWithSilentAdversaries(t *testing.T) {
+	const n, k = 100, 10
+	adv := map[ID]Strategy{}
+	for i := n - k/2; i < n; i++ {
+		adv[ID(i)] = StrategySilent
+	}
+	res, err := Simulate(ProtocolMalicious, n, k, sameInputs(n, V1), SimOptions{
+		Seed: 4, Broadcast: SchemeSample, Adversaries: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.AllDecided || res.Value != V1 {
+		t.Fatalf("sampled consensus under silent faults: agreement=%v allDecided=%v value=%v",
+			res.Agreement, res.AllDecided, res.Value)
+	}
+}
+
+// TestSampledSchemeValidation pins the knob's error paths.
+func TestSampledSchemeValidation(t *testing.T) {
+	if _, err := Simulate(ProtocolMalicious, 10, 3, sameInputs(10, V0), SimOptions{
+		Broadcast: BroadcastScheme(7),
+	}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Simulate(ProtocolMalicious, 9, 3, sameInputs(9, V0), SimOptions{
+		Broadcast: SchemeSample, Unsafe: true, Eps: 1e-3,
+	}); err == nil {
+		t.Error("unsafe sampled run accepted")
+	}
+	if _, err := Simulate(ProtocolMalicious, 10, 3, sameInputs(10, V0), SimOptions{
+		Broadcast: SchemeSample, Eps: 0.5,
+	}); err == nil {
+		t.Error("eps=0.5 accepted")
+	}
+	// Protocols without an echo stage ignore the knob.
+	if _, err := Simulate(ProtocolFailStop, 7, 3, sameInputs(7, V0), SimOptions{
+		Broadcast: SchemeSample,
+	}); err != nil {
+		t.Errorf("failstop under the sample knob: %v", err)
+	}
+	for _, s := range []BroadcastScheme{SchemeEcho, SchemeSample} {
+		if !s.Valid() || s.String() == "" {
+			t.Errorf("scheme %d invalid or unnamed", int(s))
+		}
+	}
+	if BroadcastScheme(7).Valid() {
+		t.Error("out-of-range scheme valid")
+	}
+}
+
+// TestScenarioSampledAcrossEngines runs the same sampled-consensus scenario
+// on the simulator and the in-memory live engine: both must reach agreement
+// on the unanimous input.
+func TestScenarioSampledAcrossEngines(t *testing.T) {
+	sc := Scenario{
+		Protocol: ProtocolMalicious, N: 40, K: 4,
+		Inputs: sameInputs(40, V1), Seed: 5, Broadcast: SchemeSample, Eps: 1e-2,
+	}
+	for _, engine := range []Engine{EngineSim, EngineMem} {
+		out, err := RunScenario(context.Background(), engine, sc)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if !out.Agreement || !out.AllDecided || out.Value != V1 {
+			t.Fatalf("%v: agreement=%v allDecided=%v value=%v",
+				engine, out.Agreement, out.AllDecided, out.Value)
+		}
+	}
+}

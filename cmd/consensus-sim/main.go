@@ -12,6 +12,8 @@
 //	consensus-sim -protocol failstop -n 9 -k 4 -crash "3:1:5,7:0:0" -trials 100
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine tcp -crash "5:1:3,6:0:0"
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine mem -policy drop:0.1,uniform:0.1:1
+//	consensus-sim -protocol malicious -n 1000 -k 100 -broadcast sample
+//	consensus-sim -protocol broadcast -n 10000 -k 1000 -broadcast sample -eps 1e-3
 //	consensus-sim -engine tcp -saturate -n 13 -messages 500000
 //	consensus-sim -log -engine tcp -n 7 -ops 4096 -batch 16 -pipeline 4
 //	consensus-sim -log -engine tcp -rate 20000 -clients 256 -batch 32 -logcrash "2:5"
@@ -62,7 +64,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
-		protoName   = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence")
+		protoName   = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence | broadcast")
 		n           = fs.Int("n", 7, "number of processes")
 		k           = fs.Int("k", -1, "fault parameter (default: the protocol's maximum for n)")
 		inputsStr   = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
@@ -73,6 +75,8 @@ func run(args []string) error {
 		advSpec     = fs.String("adversary", "", "byzantine strategy on the k highest-numbered processes: silent | balancer | flipper | liar0 | liar1 | equivocator | double-echo | mute")
 		showTrace   = fs.Bool("trace", false, "print the execution trace (single-trial runs only)")
 		unsafe      = fs.Bool("unsafe", false, "skip the resilience-bound validation of (n, k)")
+		schemeName  = fs.String("broadcast", "echo", "echo-broadcast primitive for the malicious and broadcast protocols: echo | sample")
+		epsFlag     = fs.Float64("eps", 0, "per-acceptance error bound of -broadcast=sample (0 = default 1e-3)")
 		asJSON      = fs.Bool("json", false, "emit the result as JSON (single-trial runs only)")
 		metricsPath = fs.String("metrics-json", "", "write a key-sorted run-accounting snapshot to this file (aggregated over all trials)")
 		engineName  = fs.String("engine", "sim", "execution engine: sim | mem | jitter | tcp")
@@ -105,6 +109,13 @@ func run(args []string) error {
 	userK := *k
 	if *k < 0 {
 		*k = proto.MaxFaults(*n)
+	}
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	if err := validateScale(proto, scheme, *n, *epsFlag); err != nil {
+		return err
 	}
 	inputs, err := parseInputs(*inputsStr, *n)
 	if err != nil {
@@ -245,6 +256,8 @@ func run(args []string) error {
 			Policy:      pol,
 			Unit:        *unitFlag,
 			TCP:         tcp,
+			Broadcast:   scheme,
+			Eps:         *epsFlag,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})
@@ -270,6 +283,8 @@ func run(args []string) error {
 			Crashes:     crashes,
 			Adversaries: adversaries,
 			Policy:      pol,
+			Broadcast:   scheme,
+			Eps:         *epsFlag,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		}
@@ -307,6 +322,8 @@ func run(args []string) error {
 			Crashes:     crashes,
 			Adversaries: adversaries,
 			Policy:      pol,
+			Broadcast:   scheme,
+			Eps:         *epsFlag,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})
@@ -363,9 +380,61 @@ func parseProtocol(name string) (resilient.Protocol, error) {
 		return resilient.ProtocolBenOrByzantine, nil
 	case "bivalence":
 		return resilient.ProtocolBivalence, nil
+	case "broadcast":
+		return resilient.ProtocolBroadcast, nil
 	default:
 		return 0, fmt.Errorf("unknown protocol %q", name)
 	}
+}
+
+func parseScheme(name string) (resilient.BroadcastScheme, error) {
+	switch strings.ToLower(name) {
+	case "echo":
+		return resilient.SchemeEcho, nil
+	case "sample":
+		return resilient.SchemeSample, nil
+	default:
+		return 0, fmt.Errorf("unknown broadcast scheme %q (want echo or sample)", name)
+	}
+}
+
+// Full-quorum scale ceilings: past these, the echo scheme's message count
+// exceeds the simulator's default event budget (Figure-2 consensus costs
+// ~n³ echo deliveries per phase, a single broadcast ~n²), so the run would
+// stall on EventBudget after minutes of work. Fail fast and point at the
+// sampled scheme instead.
+const (
+	maxEchoConsensusN = 250
+	maxEchoBroadcastN = 4000
+)
+
+// validateScale cross-checks n, the protocol, and the broadcast scheme
+// before any engine starts.
+func validateScale(proto resilient.Protocol, scheme resilient.BroadcastScheme, n int, eps float64) error {
+	echoStage := proto == resilient.ProtocolMalicious || proto == resilient.ProtocolBroadcast
+	if !echoStage {
+		if scheme != resilient.SchemeEcho {
+			return fmt.Errorf("-broadcast=%v applies to the malicious and broadcast protocols only", scheme)
+		}
+		if eps != 0 {
+			return fmt.Errorf("-eps applies to -broadcast=sample only")
+		}
+		return nil
+	}
+	if scheme == resilient.SchemeEcho {
+		if eps != 0 {
+			return fmt.Errorf("-eps applies to -broadcast=sample only")
+		}
+		limit := maxEchoConsensusN
+		if proto == resilient.ProtocolBroadcast {
+			limit = maxEchoBroadcastN
+		}
+		if n > limit {
+			return fmt.Errorf("n=%d exceeds the full-quorum echo scheme's practical ceiling of %d for %v; rerun with -broadcast=sample",
+				n, limit, proto)
+		}
+	}
+	return nil
 }
 
 func parseInputs(s string, n int) ([]resilient.Value, error) {

@@ -19,6 +19,7 @@ func TestParseProtocol(t *testing.T) {
 		"benor-crash":     resilient.ProtocolBenOrCrash,
 		"benor-byzantine": resilient.ProtocolBenOrByzantine,
 		"bivalence":       resilient.ProtocolBivalence,
+		"broadcast":       resilient.ProtocolBroadcast,
 	}
 	for name, want := range cases {
 		got, err := parseProtocol(name)
@@ -142,6 +143,71 @@ func TestRunSaturateMode(t *testing.T) {
 	if err := run([]string{"-nocoalesce"}); err == nil ||
 		!strings.Contains(err.Error(), "-engine tcp") {
 		t.Fatalf("nocoalesce on sim engine: %v", err)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for name, want := range map[string]resilient.BroadcastScheme{
+		"echo": resilient.SchemeEcho, "sample": resilient.SchemeSample, "SAMPLE": resilient.SchemeSample,
+	} {
+		got, err := parseScheme(name)
+		if err != nil || got != want {
+			t.Errorf("parseScheme(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseScheme("gossip"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestValidateScale(t *testing.T) {
+	cases := []struct {
+		proto  resilient.Protocol
+		scheme resilient.BroadcastScheme
+		n      int
+		eps    float64
+		wantOK bool
+	}{
+		{resilient.ProtocolMalicious, resilient.SchemeEcho, 100, 0, true},
+		{resilient.ProtocolMalicious, resilient.SchemeEcho, 1000, 0, false},
+		{resilient.ProtocolMalicious, resilient.SchemeSample, 1000, 0, true},
+		{resilient.ProtocolBroadcast, resilient.SchemeEcho, 1000, 0, true},
+		{resilient.ProtocolBroadcast, resilient.SchemeEcho, 10000, 0, false},
+		{resilient.ProtocolBroadcast, resilient.SchemeSample, 10000, 0, true},
+		{resilient.ProtocolFailStop, resilient.SchemeSample, 7, 0, false},
+		{resilient.ProtocolFailStop, resilient.SchemeEcho, 7, 1e-3, false},
+		{resilient.ProtocolMalicious, resilient.SchemeEcho, 100, 1e-3, false},
+	}
+	for _, c := range cases {
+		err := validateScale(c.proto, c.scheme, c.n, c.eps)
+		if (err == nil) != c.wantOK {
+			t.Errorf("validateScale(%v, %v, n=%d, eps=%g) = %v, wantOK=%v",
+				c.proto, c.scheme, c.n, c.eps, err, c.wantOK)
+		}
+	}
+}
+
+// TestRunSampledBroadcast exercises the new flags end to end: sampled
+// consensus at a scale the echo scheme rejects, and the fail-fast rejection
+// itself.
+func TestRunSampledBroadcast(t *testing.T) {
+	if err := run([]string{"-protocol", "malicious", "-n", "300", "-k", "30",
+		"-broadcast", "sample", "-inputs", strings.Repeat("1", 300), "-seed", "2"}); err != nil {
+		t.Fatalf("sampled consensus run: %v", err)
+	}
+	if err := run([]string{"-protocol", "broadcast", "-n", "1000", "-k", "100",
+		"-broadcast", "sample", "-eps", "1e-3", "-json"}); err != nil {
+		t.Fatalf("sampled broadcast run: %v", err)
+	}
+	if err := run([]string{"-protocol", "malicious", "-n", "1000", "-k", "100"}); err == nil ||
+		!strings.Contains(err.Error(), "-broadcast=sample") {
+		t.Fatalf("echo scheme at n=1000: %v", err)
+	}
+	if err := run([]string{"-protocol", "failstop", "-n", "7", "-broadcast", "sample"}); err == nil {
+		t.Fatalf("sample scheme on failstop accepted")
+	}
+	if err := run([]string{"-protocol", "malicious", "-n", "21", "-broadcast", "gossip"}); err == nil {
+		t.Fatalf("unknown scheme accepted")
 	}
 }
 

@@ -135,6 +135,12 @@ type Scenario struct {
 	// TCP tunes the loopback TCP transport on EngineTCP runs (coalescing
 	// window, queue cap, direct mode); other engines ignore it.
 	TCP TCPTuning
+	// Broadcast selects the echo-broadcast primitive (see
+	// SimOptions.Broadcast); all engines honour it.
+	Broadcast BroadcastScheme
+	// Eps is the sampled scheme's per-acceptance error bound
+	// (0 = sample.DefaultEps).
+	Eps float64
 	// Unsafe skips the resilience-bound validation of (n, k).
 	Unsafe bool
 	// Metrics, when non-nil, receives run accounting: "runtime." counters
@@ -186,6 +192,8 @@ func RunScenario(ctx context.Context, engine Engine, sc Scenario) (*Outcome, err
 			Policy:      sc.Policy,
 			Crashes:     sc.Crashes,
 			Adversaries: sc.Adversaries,
+			Broadcast:   sc.Broadcast,
+			Eps:         sc.Eps,
 			Unsafe:      sc.Unsafe,
 			Metrics:     sc.Metrics,
 		})
@@ -300,11 +308,18 @@ func liveMachines(sc Scenario) ([]core.Machine, error) {
 			return nil, fmt.Errorf("resilient: %v needs the simulator's omniscient world view; run it on EngineSim", strat)
 		}
 	}
-	spawner, err := spawnerFor(sc.Protocol, SimOptions{
+	simOpts := SimOptions{
 		Seed:        sc.Seed,
 		Adversaries: sc.Adversaries,
+		Broadcast:   sc.Broadcast,
+		Eps:         sc.Eps,
 		Unsafe:      sc.Unsafe,
-	})
+	}
+	dir, err := sampleDirectory(sc.Protocol, sc.N, sc.K, simOpts)
+	if err != nil {
+		return nil, err
+	}
+	spawner, err := spawnerFor(sc.Protocol, simOpts, dir)
 	if err != nil {
 		return nil, err
 	}

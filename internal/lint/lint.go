@@ -104,6 +104,7 @@ func ProjectConfig(dir string) Config {
 		mod + "/internal/experiments",
 		mod + "/internal/sched",
 		mod + "/internal/policy",
+		mod + "/internal/sample",
 	}
 	return Config{
 		Dir:               dir,
@@ -142,6 +143,11 @@ func ProjectConfig(dir string) Config {
 			// run once per slot in the pipelined commit loop.
 			mod + ".logRun.recordSlot",
 			mod + ".batchFrames",
+			// The sampled broadcast's per-message delivery loop: Observe is
+			// the per-echo tally (also the malicious machine's sampled echo
+			// stage), trial replays whole broadcasts inside the MC ensemble.
+			mod + "/internal/sample.Tracker.Observe",
+			mod + "/internal/mc.Broadcast.trial",
 		},
 	}
 }

@@ -29,8 +29,18 @@ import (
 	"resilient/internal/echo"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
+	"resilient/internal/sample"
 	"resilient/internal/trace"
 )
+
+// echoTally is the acceptance machinery behind the protocol: the dense
+// full-quorum echo.Tracker (the paper's > (n+k)/2 rule) or the sparse
+// sample.Tracker (the scaled Ê-of-E rule of the sampled broadcast scheme).
+// The machine's protocol logic is identical over either.
+type echoTally interface {
+	Observe(sender, subject msg.ID, p msg.Phase, v msg.Value) (echo.Accept, bool)
+	Prune(p msg.Phase)
+}
 
 type wildEcho struct {
 	sender  msg.ID
@@ -78,8 +88,13 @@ type Machine struct {
 	value msg.Value
 	phase msg.Phase
 
-	tracker  *echo.Tracker
+	tracker  echoTally
 	msgCount [2]int
+
+	// echoTargets, when non-nil, is the set of processes that sampled this
+	// machine's echoes under the sampled broadcast scheme; echoes are
+	// unicast to them instead of broadcast. nil means full-quorum echo.
+	echoTargets []int32
 
 	echoedInitial phaseMarks
 	echoedWild    dense.Bitset // one bit per origin process
@@ -131,6 +146,42 @@ func NewUnsafe(cfg core.Config, sink trace.Sink) *Machine {
 		echoedWild:    dense.NewBitset(cfg.N),
 		wildSeen:      dense.NewBitset(cfg.N * cfg.N),
 	}
+}
+
+// NewSampled returns a Figure-2 machine whose echo stage runs over the
+// sampled broadcast primitive described by dir's plan: echoes are counted
+// against this process's echo sample (Ê-of-E instead of > (n+k)/2 of n) and
+// sent only to the processes that sampled this one. Everything above the
+// echo stage -- initial broadcasts, the n-k wait, the majority/decision
+// rules, wildcard termination -- is unchanged, which is the drop-in
+// equivalence claim of DESIGN §13. Each acceptance carries the plan's ε
+// error, so agreement holds except with probability O(n·ε) per phase.
+func NewSampled(cfg core.Config, dir *sample.Directory, sink trace.Sink) (*Machine, error) {
+	if err := cfg.Validate(quorum.Malicious); err != nil {
+		return nil, fmt.Errorf("malicious: %w", err)
+	}
+	p := dir.Plan()
+	if p.N != cfg.N || p.K != cfg.K {
+		return nil, fmt.Errorf("malicious: directory plan (n=%d, k=%d) does not match config (n=%d, k=%d)",
+			p.N, p.K, cfg.N, cfg.K)
+	}
+	m := NewUnsafe(cfg, sink)
+	m.tracker = sample.NewTracker(dir, cfg.Self)
+	m.echoTargets = dir.EchoTargets(cfg.Self)
+	return m, nil
+}
+
+// echoSends appends the sends for one echo message: a single broadcast under
+// the full-quorum scheme, or unicasts to the sampling processes under the
+// sampled scheme.
+func (m *Machine) echoSends(out []core.Outbound, e msg.Message) []core.Outbound {
+	if m.echoTargets == nil {
+		return append(out, core.ToAll(e))
+	}
+	for _, t := range m.echoTargets {
+		out = append(out, core.To(msg.ID(t), e))
+	}
+	return out
 }
 
 // ID implements core.Machine.
@@ -191,12 +242,12 @@ func (m *Machine) onInitial(in msg.Message) []core.Outbound {
 		if m.echoedWild.Set(int(in.From)) {
 			return nil
 		}
-		return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, msg.WildcardPhase, in.Value))}
+		return m.echoSends(nil, msg.Echo(m.cfg.Self, in.From, msg.WildcardPhase, in.Value))
 	}
 	if m.echoedInitial.mark(in.Phase, in.From) {
 		return nil
 	}
-	return []core.Outbound{core.ToAll(msg.Echo(m.cfg.Self, in.From, in.Phase, in.Value))}
+	return m.echoSends(nil, msg.Echo(m.cfg.Self, in.From, in.Phase, in.Value))
 }
 
 // onEcho feeds an echo into the acceptance machinery, buffering echoes for
@@ -323,7 +374,7 @@ func (m *Machine) endPhase() []core.Outbound {
 		out := make([]core.Outbound, 0, m.cfg.N+1)
 		out = append(out, core.ToAll(msg.Initial(m.cfg.Self, msg.WildcardPhase, m.decision)))
 		for q := 0; q < m.cfg.N; q++ {
-			out = append(out, core.ToAll(msg.Echo(m.cfg.Self, msg.ID(q), msg.WildcardPhase, m.decision)))
+			out = m.echoSends(out, msg.Echo(m.cfg.Self, msg.ID(q), msg.WildcardPhase, m.decision))
 		}
 		return out
 	}

@@ -78,6 +78,14 @@ const (
 	// KindGraph carries the knowledge sets of the Section 5 weak-bivalence
 	// protocol (inputs heard and adjacency information) in Payload.
 	KindGraph
+	// KindGossip is the dissemination message of the sample-based reliable
+	// broadcast (Guerraoui et al., arXiv 1908.01738): a relayed copy of the
+	// origin's payload. Subject holds the origin; From is the relayer.
+	KindGossip
+	// KindReady is the totality-amplification message of the sample-based
+	// reliable broadcast. Subject holds the origin whose value the sender
+	// is ready to deliver.
+	KindReady
 )
 
 // String returns a short name for the kind.
@@ -97,6 +105,10 @@ func (k Kind) String() string {
 		return "proposal"
 	case KindGraph:
 		return "graph"
+	case KindGossip:
+		return "gossip"
+	case KindReady:
+		return "ready"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -104,7 +116,7 @@ func (k Kind) String() string {
 
 // Valid reports whether k is a defined kind.
 func (k Kind) Valid() bool {
-	return k >= KindState && k <= KindGraph
+	return k >= KindState && k <= KindReady
 }
 
 // Message is the single wire unit exchanged by all protocols.
@@ -167,15 +179,26 @@ func Graph(from ID, round Phase, payload []byte) Message {
 	return Message{Kind: KindGraph, From: from, Subject: from, Phase: round, Payload: payload}
 }
 
+// Gossip builds a sample-broadcast dissemination message relaying origin's
+// value.
+func Gossip(from, origin ID, phase Phase, v Value) Message {
+	return Message{Kind: KindGossip, From: from, Subject: origin, Phase: phase, Value: v}
+}
+
+// Ready builds a sample-broadcast ready message for origin's value.
+func Ready(from, origin ID, phase Phase, v Value) Message {
+	return Message{Kind: KindReady, From: from, Subject: origin, Phase: phase, Value: v}
+}
+
 // String renders the message in the paper's tuple notation.
 func (m Message) String() string {
 	switch m.Kind {
 	case KindState:
 		return fmt.Sprintf("(%s, p%d, phase=%s, v=%d, card=%d)",
 			m.Kind, m.From, m.Phase, m.Value, m.Cardinality)
-	case KindEcho:
-		return fmt.Sprintf("(echo, from=p%d, subject=p%d, v=%d, phase=%s)",
-			m.From, m.Subject, m.Value, m.Phase)
+	case KindEcho, KindGossip, KindReady:
+		return fmt.Sprintf("(%s, from=p%d, subject=p%d, v=%d, phase=%s)",
+			m.Kind, m.From, m.Subject, m.Value, m.Phase)
 	case KindBenOrProposal:
 		if m.Bot {
 			return fmt.Sprintf("(proposal, p%d, round=%s, ?)", m.From, m.Phase)

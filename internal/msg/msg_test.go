@@ -32,7 +32,7 @@ func TestPhaseWildcard(t *testing.T) {
 
 func TestKindValidity(t *testing.T) {
 	valid := []Kind{KindState, KindValue, KindInitial, KindEcho,
-		KindBenOrReport, KindBenOrProposal, KindGraph}
+		KindBenOrReport, KindBenOrProposal, KindGraph, KindGossip, KindReady}
 	for _, k := range valid {
 		if !k.Valid() {
 			t.Errorf("%v should be valid", k)

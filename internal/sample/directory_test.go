@@ -1,0 +1,113 @@
+package sample
+
+import (
+	"slices"
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+func mustPlan(t testing.TB, n, k int, eps float64) Plan {
+	t.Helper()
+	p, err := NewPlan(n, k, eps)
+	if err != nil {
+		t.Fatalf("NewPlan(%d, %d, %g): %v", n, k, eps, err)
+	}
+	return p
+}
+
+func TestDirectoryShapes(t *testing.T) {
+	p := mustPlan(t, 200, 20, 1e-3)
+	d := NewDirectory(p, 7)
+	totalEcho, totalReady := 0, 0
+	for r := 0; r < p.N; r++ {
+		id := msg.ID(r)
+		es := d.EchoSample(id)
+		if len(es) != p.Echo || !slices.IsSorted(es) {
+			t.Fatalf("receiver %d: echo sample len=%d sorted=%v", r, len(es), slices.IsSorted(es))
+		}
+		rs := d.ReadySample(id)
+		if len(rs) != p.Ready || !slices.IsSorted(rs) {
+			t.Fatalf("receiver %d: ready sample len=%d sorted=%v", r, len(rs), slices.IsSorted(rs))
+		}
+		gs := d.GossipTargets(id)
+		if len(gs) != p.Gossip {
+			t.Fatalf("process %d: gossip fanout %d, want %d", r, len(gs), p.Gossip)
+		}
+		for _, s := range [][]int32{es, rs, gs} {
+			for i := 1; i < len(s); i++ {
+				if s[i] == s[i-1] {
+					t.Fatalf("process %d: duplicate member %d", r, s[i])
+				}
+			}
+			for _, v := range s {
+				if v < 0 || int(v) >= p.N {
+					t.Fatalf("process %d: member %d out of range", r, v)
+				}
+			}
+		}
+		totalEcho += len(d.EchoTargets(id))
+		totalReady += len(d.ReadyTargets(id))
+	}
+	if totalEcho != p.N*p.Echo {
+		t.Errorf("echo reverse map covers %d entries, want %d", totalEcho, p.N*p.Echo)
+	}
+	if totalReady != p.N*p.Ready {
+		t.Errorf("ready reverse map covers %d entries, want %d", totalReady, p.N*p.Ready)
+	}
+}
+
+// TestDirectoryReverseConsistency checks the CSR transpose both ways:
+// r ∈ EchoTargets(p) exactly when p ∈ EchoSample(r).
+func TestDirectoryReverseConsistency(t *testing.T) {
+	p := mustPlan(t, 150, 15, 1e-2)
+	d := NewDirectory(p, 99)
+	for pid := 0; pid < p.N; pid++ {
+		for _, r := range d.EchoTargets(msg.ID(pid)) {
+			if SampleIndex(d.EchoSample(msg.ID(r)), msg.ID(pid)) < 0 {
+				t.Fatalf("p%d in EchoTargets but not in receiver %d's sample", pid, r)
+			}
+		}
+		for _, r := range d.ReadyTargets(msg.ID(pid)) {
+			if SampleIndex(d.ReadySample(msg.ID(r)), msg.ID(pid)) < 0 {
+				t.Fatalf("p%d in ReadyTargets but not in receiver %d's ready sample", pid, r)
+			}
+		}
+	}
+	for r := 0; r < p.N; r++ {
+		for _, m := range d.EchoSample(msg.ID(r)) {
+			if !slices.Contains(d.EchoTargets(msg.ID(m)), int32(r)) {
+				t.Fatalf("receiver %d sampled p%d but is missing from its targets", r, m)
+			}
+		}
+	}
+}
+
+func TestDirectoryDeterministic(t *testing.T) {
+	p := mustPlan(t, 300, 30, 1e-3)
+	a := NewDirectory(p, 42)
+	b := NewDirectory(p, 42)
+	c := NewDirectory(p, 43)
+	if !slices.Equal(a.echoSamples, b.echoSamples) ||
+		!slices.Equal(a.readySamples, b.readySamples) ||
+		!slices.Equal(a.gossipTargets, b.gossipTargets) {
+		t.Fatal("same seed produced different directories")
+	}
+	if slices.Equal(a.echoSamples, c.echoSamples) {
+		t.Fatal("different seeds produced identical echo samples")
+	}
+}
+
+func TestSampleIndex(t *testing.T) {
+	s := []int32{2, 5, 9, 14}
+	for i, v := range s {
+		if got := SampleIndex(s, msg.ID(v)); got != i {
+			t.Errorf("SampleIndex(%d) = %d, want %d", v, got, i)
+		}
+	}
+	for _, v := range []msg.ID{0, 3, 15, -1} {
+		if got := SampleIndex(s, v); got != -1 {
+			t.Errorf("SampleIndex(%d) = %d, want -1", v, got)
+		}
+	}
+}

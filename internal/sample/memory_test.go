@@ -1,0 +1,57 @@
+package sample
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+// heapDelta runs fill and returns the live heap it retained, in bytes.
+func heapDelta(fill func() any) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	kept := fill()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(kept)
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// BenchmarkSparseTrackerMemory pins the sampled scheme's per-node footprint
+// against the dense echo.Tracker baseline (see internal/echo's
+// BenchmarkTrackerMemory): a sparse tracker holds an E-entry sample plus one
+// small tally per active subject, independent of n, while the dense tracker
+// holds an n²-bit dedup table per node. The shared directory (all samples +
+// reverse maps) is amortized across the run's n processes and reported
+// separately as dir-B/node.
+func BenchmarkSparseTrackerMemory(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p, err := NewPlan(n, n/10, DefaultEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirBytes := heapDelta(func() any { return NewDirectory(p, 1) })
+			dir := NewDirectory(p, 1)
+			b.ReportAllocs()
+			var total uint64
+			const batch = 8
+			for i := 0; i < b.N; i++ {
+				total += heapDelta(func() any {
+					trackers := make([]*Tracker, batch)
+					for j := range trackers {
+						tr := NewTracker(dir, msg.ID(j))
+						tr.Observe(msg.ID(dir.EchoSample(msg.ID(j))[0]), 0, 0, msg.V0)
+						trackers[j] = tr
+					}
+					return trackers
+				})
+			}
+			b.ReportMetric(float64(total)/float64(batch*b.N), "B/node")
+			b.ReportMetric(float64(dirBytes)/float64(n), "dir-B/node")
+		})
+	}
+}

@@ -1,0 +1,221 @@
+// Package sample implements a probabilistic, sample-based reliable-broadcast
+// primitive in the style of Guerraoui et al., "Scalable Byzantine Reliable
+// Broadcast" (arXiv 1908.01738), as a drop-in alternative to the full-quorum
+// Figure-2 echo primitive in internal/echo.
+//
+// The full-quorum primitive costs O(n²) messages per broadcast: every process
+// echoes to every process and accepts at > (n+k)/2 matching echoes. Here each
+// process instead draws three small uniform samples of the system — a gossip
+// sample (dissemination), an echo sample (consistency), and a ready sample
+// (totality amplification) — and applies scaled thresholds to the echoes and
+// readies it receives from its own samples. Message cost drops to
+// O(n·(G+E+R)) = O(n·log n) per broadcast at the price of a tunable failure
+// probability ε per (receiver, broadcast) pair.
+//
+// All sample sizes and thresholds come from the log-space hypergeometric
+// tails in internal/dist. The two constraints on the echo stage are exact
+// sampled analogues of the Figure-2 argument:
+//
+//   - ε-consistency: an equivocating sender can split correct processes
+//     between two values, so at most ⌊(n+k)/2⌋ processes (the losing correct
+//     half plus all k Byzantine) ever echo any one conflicting value. The
+//     threshold Ê is chosen so that P[HG(n, ⌊(n+k)/2⌋, E) ≥ Ê] ≤ ε — the
+//     probability a sample contains a conflicting quorum.
+//   - ε-delivery: when every correct process echoes the same value
+//     (Success = n−k), P[HG(n, n−k, E) < Ê] ≤ ε.
+//
+// As ε → 0 the search walks E up to n, where the hypergeometric degenerates
+// (a sample of the whole population) and Ê becomes ⌊(n+k)/2⌋+1 — exactly
+// quorum.EchoAcceptCount. The sampled primitive therefore degenerates to the
+// paper's Figure-2 primitive; see DESIGN §13 for the full argument.
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"resilient/internal/dist"
+)
+
+// DefaultEps is the per-(receiver, broadcast) failure-probability budget
+// used when a caller does not specify one.
+const DefaultEps = 1e-3
+
+// Plan holds the sample sizes and thresholds for one (n, k, ε) operating
+// point. A Plan is pure parameters: build one per run and share it across
+// all machines (the per-receiver draws live in Directory).
+type Plan struct {
+	N   int     // system size
+	K   int     // Byzantine budget the thresholds defend against
+	Eps float64 // per-(receiver, broadcast) failure budget
+
+	// Gossip is the dissemination fanout G: every process forwards the
+	// first copy of a broadcast it receives to G sampled targets.
+	Gossip int
+	// Echo is the echo sample size E: each receiver counts echoes only
+	// from its own E-process sample.
+	Echo int
+	// EchoThreshold is Ê: matching echoes from sample members required to
+	// accept (the scaled analogue of quorum.EchoAcceptCount).
+	EchoThreshold int
+	// Ready is the ready sample size R.
+	Ready int
+	// ReadyDeliver is R̂_d: readies from sample members required to
+	// deliver.
+	ReadyDeliver int
+	// ReadyFeedback is R̂_f: readies from sample members that make a
+	// process send its own ready even before its echo threshold is met
+	// (Contagion-style amplification). Chosen so k Byzantine readies alone
+	// cannot trigger it: P[HG(n, k, R) ≥ R̂_f] ≤ ε.
+	ReadyFeedback int
+}
+
+// NewPlan computes a Plan for n processes defending against k Byzantine faults
+// at failure budget eps. It requires n > 3k (the paper's resiliency bound)
+// and 0 < eps ≤ 0.1. The echo search always terminates: at E = n the plan
+// degenerates to the full-quorum Figure-2 thresholds with failure
+// probability zero.
+func NewPlan(n, k int, eps float64) (Plan, error) {
+	if n < 2 {
+		return Plan{}, fmt.Errorf("sample: need n >= 2, got n=%d", n)
+	}
+	if k < 0 || 3*k >= n {
+		return Plan{}, fmt.Errorf("sample: need 0 <= 3k < n, got n=%d k=%d", n, k)
+	}
+	if !(eps > 0 && eps <= 0.1) {
+		return Plan{}, fmt.Errorf("sample: need 0 < eps <= 0.1, got eps=%g", eps)
+	}
+	p := Plan{N: n, K: k, Eps: eps}
+
+	// Gossip fanout: ln(n/ε) relays reach all but an ε fraction of a random
+	// push-epidemic digraph; the n/(n−k) factor compensates for picks that
+	// land on faulty processes and are never relayed. The end-to-end reach
+	// claim is pinned empirically by the internal/mc delivery ensembles.
+	g := int(math.Ceil(math.Log(float64(n)/eps) * float64(n) / float64(n-k)))
+	if g < 1 {
+		g = 1
+	}
+	if g > n-1 {
+		g = n - 1
+	}
+	p.Gossip = g
+
+	// Echo stage: the adversary's best split leaves at most ⌊(n+k)/2⌋
+	// processes echoing any single conflicting value.
+	conflict := (n + k) / 2
+	e, et, err := sizeStage(n, conflict, n-k, eps)
+	if err != nil {
+		return Plan{}, fmt.Errorf("sample: echo stage: %w", err)
+	}
+	p.Echo, p.EchoThreshold = e, et
+
+	// Ready stage: consistency is inherited from the echo stage (correct
+	// processes ready at most one value per broadcast), so the ready
+	// thresholds only defend against the k Byzantine processes lying in a
+	// sample, and the gap k vs n−k is wide — R comes out well below E.
+	r, rt, err := sizeStage(n, k, n-k, eps)
+	if err != nil {
+		return Plan{}, fmt.Errorf("sample: ready stage: %w", err)
+	}
+	p.Ready, p.ReadyDeliver = r, rt
+	p.ReadyFeedback = rt
+	return p, nil
+}
+
+// sizeStage finds the smallest sample size s (and its threshold t) such that
+//
+//	safety:   P[HG(n, badSuccess,  s) >= t] <= eps
+//	delivery: P[HG(n, goodSuccess, s) <  t] <= eps
+//
+// for the minimal t satisfying safety. Feasibility is monotone in s for all
+// practical parameters, so the search doubles s to find a feasible point and
+// then binary-searches the boundary; a final upward walk guards against the
+// rare integer-threshold non-monotonicity near the boundary.
+func sizeStage(n, badSuccess, goodSuccess int, eps float64) (size, threshold int, err error) {
+	feasible := func(s int) (int, bool) {
+		t := minSafetyThreshold(n, badSuccess, s, eps)
+		if t > s {
+			return 0, false
+		}
+		good := dist.Hypergeometric{Pop: n, Success: goodSuccess, Draw: s}
+		return t, good.CDF(t-1) <= eps
+	}
+	hi := 4
+	for hi < n {
+		if _, ok := feasible(hi); ok {
+			break
+		}
+		hi *= 2
+	}
+	if hi >= n {
+		hi = n
+	}
+	if _, ok := feasible(hi); !ok {
+		// Can only happen at hi == n if eps is unattainable; at s = n the
+		// sample is the whole population, the bad tail is exactly zero
+		// above badSuccess and the good mass sits entirely at goodSuccess,
+		// so feasibility holds whenever goodSuccess > badSuccess.
+		return 0, 0, fmt.Errorf("no feasible sample size at n=%d bad=%d good=%d eps=%g",
+			n, badSuccess, goodSuccess, eps)
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := feasible(mid); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for s := lo; s <= n; s++ {
+		if t, ok := feasible(s); ok {
+			return s, t, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("threshold walk escaped population at n=%d", n)
+}
+
+// minSafetyThreshold returns the minimal t with P[HG(n, success, draw) >= t]
+// <= eps. The tail is monotone decreasing in t; t = draw+1 always satisfies
+// it (probability zero).
+func minSafetyThreshold(n, success, draw int, eps float64) int {
+	h := dist.Hypergeometric{Pop: n, Success: success, Draw: draw}
+	lo, hi := 0, draw+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.TailAbove(mid-1) <= eps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Degenerate reports whether the echo sample has grown past half the
+// population, at which point sampling no longer beats the full quorum and
+// callers should either raise eps, lower k, or use the echo scheme.
+func (p Plan) Degenerate() bool { return 2*p.Echo > p.N }
+
+// ExpectedMessages returns the expected total message count for one
+// broadcast under the plan: every process relays the gossip once and sends
+// its echo and ready to the processes that sampled it (the reverse degree of
+// a uniform E- or R-sample averages E or R).
+func (p Plan) ExpectedMessages() int64 {
+	return int64(p.N) * int64(p.Gossip+p.Echo+p.Ready)
+}
+
+// EchoFailure returns the analytic per-receiver failure bound actually
+// achieved by the echo stage: the larger of the consistency and delivery
+// tails at the chosen (E, Ê). It is at most Eps by construction.
+func (p Plan) EchoFailure() float64 {
+	conflict := dist.Hypergeometric{Pop: p.N, Success: (p.N + p.K) / 2, Draw: p.Echo}
+	good := dist.Hypergeometric{Pop: p.N, Success: p.N - p.K, Draw: p.Echo}
+	return math.Max(conflict.TailAbove(p.EchoThreshold-1), good.CDF(p.EchoThreshold-1))
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("sample{n=%d k=%d eps=%g G=%d E=%d Ê=%d R=%d R̂d=%d R̂f=%d}",
+		p.N, p.K, p.Eps, p.Gossip, p.Echo, p.EchoThreshold,
+		p.Ready, p.ReadyDeliver, p.ReadyFeedback)
+}

@@ -1,0 +1,160 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"resilient/internal/dist"
+	"resilient/internal/quorum"
+)
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(1, 0, 1e-3); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewPlan(10, 4, 1e-3); err == nil {
+		t.Error("3k >= n accepted")
+	}
+	if _, err := NewPlan(10, -1, 1e-3); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := NewPlan(100, 10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewPlan(100, 10, 0.5); err == nil {
+		t.Error("eps=0.5 accepted")
+	}
+}
+
+// TestPlanBounds checks every plan over an (n, k, eps) sweep against the
+// constraints it claims: both analytic echo tails within eps, thresholds
+// within sample sizes, samples within the population, and the ready stage
+// no larger than the echo stage (its success/failure gap is wider).
+func TestPlanBounds(t *testing.T) {
+	for _, n := range []int{10, 21, 100, 1000, 10_000} {
+		for _, kf := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
+			k := int(kf * float64(n))
+			if 3*k >= n {
+				continue
+			}
+			for _, eps := range []float64{1e-2, 1e-3, 1e-6} {
+				p, err := NewPlan(n, k, eps)
+				if err != nil {
+					t.Fatalf("NewPlan(%d, %d, %g): %v", n, k, eps, err)
+				}
+				if p.Gossip < 1 || p.Gossip > n-1 {
+					t.Errorf("%v: gossip fanout out of range", p)
+				}
+				if p.Echo < 1 || p.Echo > n || p.EchoThreshold < 1 || p.EchoThreshold > p.Echo {
+					t.Errorf("%v: echo stage out of range", p)
+				}
+				if p.Ready < 1 || p.Ready > n || p.ReadyDeliver > p.Ready {
+					t.Errorf("%v: ready stage out of range", p)
+				}
+				if p.Ready > p.Echo {
+					t.Errorf("%v: ready sample larger than echo sample", p)
+				}
+				if f := p.EchoFailure(); f > eps {
+					t.Errorf("%v: echo failure bound %.3g > eps", p, f)
+				}
+				// Safety of the ready thresholds against k Byzantine alone.
+				byz := dist.Hypergeometric{Pop: n, Success: k, Draw: p.Ready}
+				if k > 0 && byz.TailAbove(p.ReadyFeedback-1) > eps {
+					t.Errorf("%v: k Byzantine can forge feedback readies", p)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDegeneratesToFigure2 pins the equivalence argument: at tiny n any
+// practical eps drives the echo sample to (essentially) the whole population,
+// where both tails are exactly zero — a deterministic scheme — and the
+// threshold is exactly the paper's ⌊(n+k)/2⌋+1 echo-acceptance quorum. (The
+// search may stop one short of n when sampling n−1 processes already gives
+// zero-probability tails; the threshold is the same either way.)
+func TestPlanDegeneratesToFigure2(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {21, 6}, {40, 13}} {
+		p, err := NewPlan(tc.n, tc.k, 1e-9)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %d): %v", tc.n, tc.k, err)
+		}
+		if p.Echo < tc.n-1 {
+			t.Fatalf("n=%d k=%d: echo sample %d, want >= n-1", tc.n, tc.k, p.Echo)
+		}
+		want := quorum.EchoAcceptCount(tc.n, tc.k)
+		if p.EchoThreshold != want {
+			t.Errorf("n=%d k=%d: threshold %d, want EchoAcceptCount=%d",
+				tc.n, tc.k, p.EchoThreshold, want)
+		}
+		if f := p.EchoFailure(); f != 0 {
+			t.Errorf("n=%d k=%d: degenerate plan failure bound %g, want 0", tc.n, tc.k, f)
+		}
+	}
+}
+
+// TestPlanScaling pins the headline scaling claim: at n=1,000 and n=10,000
+// with a k=n/10 budget, the sampled primitive needs at least 5x fewer
+// messages than the n² echo primitive, and sample sizes grow ~logarithmically
+// (the n=10,000 echo sample is far below 10x the n=1,000 one).
+func TestPlanScaling(t *testing.T) {
+	echoMsgs := func(n int) int64 { return int64(n) * int64(n+1) } // n gossip-equivalents + n² echoes
+	p1, err := NewPlan(1000, 99, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := NewPlan(10_000, 999, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=1,000:  %v  expected msgs %d (echo scheme: %d)", p1, p1.ExpectedMessages(), echoMsgs(1000))
+	t.Logf("n=10,000: %v  expected msgs %d (echo scheme: %d)", p10, p10.ExpectedMessages(), echoMsgs(10_000))
+	if r := float64(echoMsgs(1000)) / float64(p1.ExpectedMessages()); r < 5 {
+		t.Errorf("n=1,000 message reduction %.1fx, want >= 5x", r)
+	}
+	if r := float64(echoMsgs(10_000)) / float64(p10.ExpectedMessages()); r < 25 {
+		t.Errorf("n=10,000 message reduction %.1fx, want >= 25x", r)
+	}
+	if p10.Echo > 4*p1.Echo {
+		t.Errorf("echo sample grew %d -> %d; want sublinear growth", p1.Echo, p10.Echo)
+	}
+	if p1.Degenerate() || p10.Degenerate() {
+		t.Errorf("plans unexpectedly degenerate: %v %v", p1, p10)
+	}
+}
+
+// TestPlanEpsTable logs the ε → sample-size table quoted in DESIGN §13.
+func TestPlanEpsTable(t *testing.T) {
+	for _, n := range []int{100, 1000, 10_000} {
+		for _, kf := range []float64{0.10, 0.20, 0.30} {
+			k := int(kf * float64(n))
+			if 3*k >= n {
+				continue
+			}
+			for _, eps := range []float64{1e-2, 1e-3, 1e-6} {
+				p, err := NewPlan(n, k, eps)
+				if err != nil {
+					t.Fatalf("NewPlan(%d, %d, %g): %v", n, k, eps, err)
+				}
+				t.Logf("n=%5d k=%4d eps=%5.0e: G=%3d E=%5d Ê=%5d R=%4d msgs=%9d reduction=%6.1fx degenerate=%v",
+					n, k, eps, p.Gossip, p.Echo, p.EchoThreshold, p.Ready,
+					p.ExpectedMessages(),
+					float64(int64(n)*int64(n+1))/float64(p.ExpectedMessages()),
+					p.Degenerate())
+			}
+		}
+	}
+}
+
+func TestPlanEchoFailureMatchesTails(t *testing.T) {
+	p, err := NewPlan(500, 50, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := dist.Hypergeometric{Pop: 500, Success: (500 + 50) / 2, Draw: p.Echo}
+	good := dist.Hypergeometric{Pop: 500, Success: 450, Draw: p.Echo}
+	want := math.Max(conflict.TailAbove(p.EchoThreshold-1), good.CDF(p.EchoThreshold-1))
+	if got := p.EchoFailure(); got != want {
+		t.Errorf("EchoFailure() = %g, want %g", got, want)
+	}
+}

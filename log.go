@@ -352,7 +352,7 @@ func (r *logRun) runSim(batches []*logBatch) (*LogReport, error) {
 	cfgs := make([]runtime.Config, len(descs))
 	for i, d := range descs {
 		seed := r.slotSeed(d.slot)
-		spawner, err := spawnerFor(ProtocolMalicious, SimOptions{Seed: seed})
+		spawner, err := spawnerFor(ProtocolMalicious, SimOptions{Seed: seed}, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -31,6 +31,7 @@ import (
 	"resilient/internal/malicious"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
+	"resilient/internal/sample"
 )
 
 // Value is a binary consensus value (0 or 1).
@@ -84,6 +85,13 @@ const (
 	// ProtocolBivalence is the Section 5 weak-bivalence protocol for
 	// initially-dead faults (tolerates any k < n).
 	ProtocolBivalence
+	// ProtocolBroadcast is a single reliable broadcast: process 0
+	// disseminates its input and every correct process delivers it. It is
+	// the echo-stage primitive of Figure 2 isolated as its own protocol,
+	// runnable over either broadcast scheme (full-quorum echo or the
+	// sample-based scheme of internal/sample) for the scalability
+	// benchmarks; see SimOptions.Broadcast.
+	ProtocolBroadcast
 )
 
 // String names the protocol.
@@ -101,6 +109,8 @@ func (p Protocol) String() string {
 		return "benor-byzantine"
 	case ProtocolBivalence:
 		return "bivalence(s5)"
+	case ProtocolBroadcast:
+		return "broadcast"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -108,13 +118,13 @@ func (p Protocol) String() string {
 
 // Valid reports whether p names a protocol.
 func (p Protocol) Valid() bool {
-	return p >= ProtocolFailStop && p <= ProtocolBivalence
+	return p >= ProtocolFailStop && p <= ProtocolBroadcast
 }
 
 // Model returns the fault model a protocol is designed for.
 func (p Protocol) Model() FaultModel {
 	switch p {
-	case ProtocolMalicious, ProtocolBenOrByzantine:
+	case ProtocolMalicious, ProtocolBenOrByzantine, ProtocolBroadcast:
 		return Malicious
 	default:
 		return FailStop
@@ -165,6 +175,10 @@ func NewMachine(p Protocol, cfg MachineConfig) (Machine, error) {
 		return nil, fmt.Errorf("resilient: %v needs a random source; use NewBenOrMachine", p)
 	case ProtocolBivalence:
 		return bivalence.New(cc, nil)
+	case ProtocolBroadcast:
+		// The full-quorum variant; the sampled variant needs the run's
+		// shared sample directory, so it is built through Simulate.
+		return sample.NewEchoMachine(cc, 0)
 	default:
 		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
 	}

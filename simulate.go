@@ -14,6 +14,7 @@ import (
 	"resilient/internal/malicious"
 	"resilient/internal/msg"
 	"resilient/internal/runtime"
+	"resilient/internal/sample"
 	"resilient/internal/sched"
 	"resilient/internal/trace"
 )
@@ -111,6 +112,40 @@ func (s Strategy) String() string {
 	}
 }
 
+// BroadcastScheme selects the reliable-broadcast primitive behind the echo
+// stage of the Figure-2 protocols (ProtocolMalicious, ProtocolBroadcast).
+type BroadcastScheme int
+
+const (
+	// SchemeEcho is the paper's full-quorum primitive (the default): every
+	// echo goes to all n processes and acceptance needs strictly more than
+	// (n+k)/2 of them. Deterministic, O(n²) messages per broadcast.
+	SchemeEcho BroadcastScheme = iota
+	// SchemeSample is the sample-based primitive of internal/sample: echoes
+	// are counted against a per-process random sample and every threshold is
+	// sized analytically so each acceptance fails with probability at most
+	// ε (SimOptions.Eps). O(n·E) messages with E = O(log(1/ε)) at fixed
+	// k/n, which is what makes n=10,000 runs feasible; see DESIGN §13.
+	SchemeSample
+)
+
+// String names the scheme.
+func (s BroadcastScheme) String() string {
+	switch s {
+	case SchemeEcho:
+		return "echo"
+	case SchemeSample:
+		return "sample"
+	default:
+		return fmt.Sprintf("BroadcastScheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names a scheme.
+func (s BroadcastScheme) Valid() bool {
+	return s == SchemeEcho || s == SchemeSample
+}
+
 // SimOptions configures Simulate beyond the required arguments. The zero
 // value is a sensible default: uniform random delays, seed 0, no faults.
 type SimOptions struct {
@@ -137,6 +172,14 @@ type SimOptions struct {
 	// RunToCompletion processes all traffic even after every correct
 	// process has decided (for message-count measurements).
 	RunToCompletion bool
+	// Broadcast selects the echo-broadcast primitive for protocols with an
+	// echo stage (ProtocolMalicious, ProtocolBroadcast); those machines run
+	// unchanged over either primitive. Protocols without an echo stage
+	// ignore the knob. The zero value is the paper's full-quorum scheme.
+	Broadcast BroadcastScheme
+	// Eps is the sampled scheme's per-acceptance error bound
+	// (0 = sample.DefaultEps = 1e-3). Ignored under SchemeEcho.
+	Eps float64
 	// Unsafe skips the resilience-bound validation of (n, k), for
 	// deliberately misconfigured lower-bound experiments.
 	Unsafe bool
@@ -161,7 +204,11 @@ func Simulate(p Protocol, n, k int, inputs []Value, opts SimOptions) (*Result, e
 				k, p, p.MaxFaults(n), n)
 		}
 	}
-	spawner, err := spawnerFor(p, opts)
+	dir, err := sampleDirectory(p, n, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	spawner, err := spawnerFor(p, opts, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -186,9 +233,35 @@ func Simulate(p Protocol, n, k int, inputs []Value, opts SimOptions) (*Result, e
 	})
 }
 
+// sampleDirectory builds the run's shared sample directory when the sampled
+// broadcast scheme applies to the protocol, nil otherwise. The directory is
+// drawn deterministically from the run seed, so every process of one run --
+// and every engine running the same scenario -- agrees on the samples.
+func sampleDirectory(p Protocol, n, k int, opts SimOptions) (*sample.Directory, error) {
+	if !opts.Broadcast.Valid() {
+		return nil, fmt.Errorf("resilient: unknown broadcast scheme %d", int(opts.Broadcast))
+	}
+	if opts.Broadcast == SchemeEcho || (p != ProtocolMalicious && p != ProtocolBroadcast) {
+		return nil, nil
+	}
+	if opts.Unsafe {
+		return nil, fmt.Errorf("resilient: the sampled broadcast scheme requires validated (n, k); it has no Unsafe variant")
+	}
+	eps := opts.Eps
+	if eps == 0 {
+		eps = sample.DefaultEps
+	}
+	plan, err := sample.NewPlan(n, k, eps)
+	if err != nil {
+		return nil, fmt.Errorf("resilient: sampled broadcast: %w", err)
+	}
+	return sample.NewDirectory(plan, opts.Seed), nil
+}
+
 // spawnerFor builds the runtime spawner: honest machines for correct
-// processes, strategy-wrapped machines for adversaries.
-func spawnerFor(p Protocol, opts SimOptions) (runtime.Spawner, error) {
+// processes, strategy-wrapped machines for adversaries. dir is the shared
+// sample directory when the run uses the sampled broadcast scheme.
+func spawnerFor(p Protocol, opts SimOptions, dir *sample.Directory) (runtime.Spawner, error) {
 	honest := func(ctx runtime.SpawnContext) (core.Machine, error) {
 		switch p {
 		case ProtocolFailStop:
@@ -197,6 +270,9 @@ func spawnerFor(p Protocol, opts SimOptions) (runtime.Spawner, error) {
 			}
 			return failstop.New(ctx.Config, ctx.Sink)
 		case ProtocolMalicious:
+			if dir != nil {
+				return malicious.NewSampled(ctx.Config, dir, ctx.Sink)
+			}
 			if opts.Unsafe {
 				return malicious.NewUnsafe(ctx.Config, ctx.Sink), nil
 			}
@@ -212,6 +288,11 @@ func spawnerFor(p Protocol, opts SimOptions) (runtime.Spawner, error) {
 			return benor.New(ctx.Config, benor.Byzantine, ctx.RNG, ctx.Sink)
 		case ProtocolBivalence:
 			return bivalence.New(ctx.Config, ctx.Sink)
+		case ProtocolBroadcast:
+			if dir != nil {
+				return sample.NewMachine(ctx.Config, dir, 0)
+			}
+			return sample.NewEchoMachine(ctx.Config, 0)
 		default:
 			return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
 		}
