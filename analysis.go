@@ -42,6 +42,9 @@ func AnalyzeMalicious(n, k int, forced bool) (*ChainAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	// (n-k)/2 is the balanced middle *state index* of the n-k correct
+	// processes, not a decision threshold.
+	//lint:allow quorumarith positional index of the balanced chain state, not a quorum
 	return &ChainAnalysis{N: n, K: k, FromBalanced: byState[(n-k)/2], ByState: byState}, nil
 }
 
@@ -122,6 +125,8 @@ func EstimateMaliciousAbsorption(n, k, trials int, forced bool, seed uint64) (Es
 	rng := newRand(seed)
 	var acc stats.Accumulator
 	for t := 0; t < trials; t++ {
+		// Start from the balanced middle state index, not a threshold.
+		//lint:allow quorumarith positional index of the balanced chain state, not a quorum
 		phases, err := chain.AbsorptionRun((n-k)/2, rng, 0)
 		if err != nil {
 			return Estimate{}, err

@@ -1,10 +1,15 @@
 // Command consensuslint runs the project's static-analysis suite (see
 // internal/lint) over the module and reports findings as
-// "file:line: [rule] message" lines, or as JSON with -json.
+// "file:line: [rule] message" lines, as JSON, or as GitHub Actions
+// annotations.
 //
 // Usage:
 //
-//	consensuslint [-json] [patterns...]
+//	consensuslint [-format=text|json|github] [patterns...]
+//
+// -format=github emits one "::error file=...,line=..." workflow command per
+// finding so a CI step's findings render inline on the pull request diff.
+// -json remains as an alias for -format=json.
 //
 // Patterns follow the go tool convention relative to the module root:
 // "./..." (the default) checks everything, "./internal/echo" one package,
@@ -32,9 +37,19 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("consensuslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (alias for -format=json)")
+	format := fs.String("format", "text", "output format: text, json, or github (Actions annotations)")
 	dir := fs.String("C", "", "module root (default: locate go.mod upward from the working directory)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "consensuslint: unknown -format %q (want text, json, or github)\n", *format)
 		return 2
 	}
 	root := *dir
@@ -62,14 +77,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	findings = filterByPatterns(findings, patterns)
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		data, err := lint.WriteJSON(findings)
 		if err != nil {
 			fmt.Fprintln(stderr, "consensuslint:", err)
 			return 2
 		}
 		stdout.Write(data)
-	} else {
+	case "github":
+		stdout.Write(lint.WriteGitHub(findings))
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}

@@ -177,6 +177,9 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 		if !in.Bot && !in.Value.Valid() {
 			return nil // malformed: non-"?" proposals carry a binary value
 		}
+	case msg.KindState, msg.KindValue, msg.KindInitial, msg.KindEcho,
+		msg.KindGraph, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
 	default:
 		return nil
 	}

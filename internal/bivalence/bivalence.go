@@ -131,7 +131,16 @@ func (m *Machine) Start() []core.Outbound {
 
 // OnMessage consumes one delivered message.
 func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
-	if m.halted || !m.started || in.Kind != msg.KindGraph {
+	if m.halted || !m.started {
+		return nil
+	}
+	switch in.Kind {
+	case msg.KindGraph:
+		// The only kind the communication-graph protocol speaks.
+	case msg.KindState, msg.KindValue, msg.KindInitial, msg.KindEcho,
+		msg.KindBenOrReport, msg.KindBenOrProposal, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
+	default:
 		return nil
 	}
 	var out []core.Outbound

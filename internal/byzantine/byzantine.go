@@ -173,6 +173,9 @@ func NewEquivocator(inner core.Machine, n int) *Mutated {
 		outs := make([]core.Outbound, 0, n)
 		for q := 0; q < n; q++ {
 			m := o.Msg
+			// Positional split of the recipient list — the first half gets V0,
+			// the rest V1 — not a quorum test on the count q.
+			//lint:allow quorumarith equivocator splits recipients in half positionally, no threshold semantics
 			if q < n/2 {
 				m.Value = msg.V0
 			} else {

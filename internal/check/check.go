@@ -168,7 +168,7 @@ func (c *checker) checkSupport(e trace.Event) {
 		if !quorum.ExceedsHalfNPlusK(a, c.cfg.N, c.cfg.K) {
 			c.fail("decision-support", e.Process,
 				"decided %d in phase %d with only %d accepts (need > (n+k)/2 = %d)",
-				e.Value, e.Phase, a, (c.cfg.N+c.cfg.K)/2)
+				e.Value, e.Phase, a, quorum.EchoAcceptCount(c.cfg.N, c.cfg.K)-1)
 		}
 	}
 }

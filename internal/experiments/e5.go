@@ -222,7 +222,19 @@ func (g *greedy) Start() []core.Outbound {
 }
 
 func (g *greedy) OnMessage(in msg.Message) []core.Outbound {
-	if !g.started || in.Kind != msg.KindValue || !in.Value.Valid() {
+	if !g.started {
+		return nil
+	}
+	switch in.Kind {
+	case msg.KindValue:
+		// The only kind the greedy baseline speaks.
+	case msg.KindState, msg.KindInitial, msg.KindEcho, msg.KindBenOrReport,
+		msg.KindBenOrProposal, msg.KindGraph, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
+	default:
+		return nil
+	}
+	if !in.Value.Valid() {
 		return nil
 	}
 	var out []core.Outbound

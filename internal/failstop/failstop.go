@@ -121,8 +121,17 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 	if m.halted || !m.started {
 		return nil
 	}
-	if in.Kind != msg.KindState || !in.Value.Valid() {
-		return nil // foreign or malformed; the fail-stop model never lies, so just drop
+	switch in.Kind {
+	case msg.KindState:
+		// The only kind the Figure-1 exchange speaks.
+	case msg.KindValue, msg.KindInitial, msg.KindEcho, msg.KindBenOrReport,
+		msg.KindBenOrProposal, msg.KindGraph, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
+	default:
+		return nil
+	}
+	if !in.Value.Valid() {
+		return nil // malformed; the fail-stop model never lies, so just drop
 	}
 	var out []core.Outbound
 	queue := append(m.scratch[:0], in)

@@ -26,6 +26,17 @@
 //   - seed hygiene: seedhygiene — RNG constructors must derive their seeds
 //     from a parameter, field, or trial index, never a literal or the wall
 //     clock.
+//   - lock safety: lockblock, lockorder, lockreturn — in the packages with
+//     real concurrency, no blocking operation may run while a mutex is held,
+//     any two mutexes must be acquired in one global order, and no path may
+//     return with a lock held unless a defer guards it (locksafety.go).
+//   - message exhaustiveness: msgexhaustive — every protocol machine's
+//     dispatch must take an explicit position (handle or named ignore) on
+//     every msg.Kind constant, so adding a kind fails lint until every
+//     machine decides (msgrule.go).
+//   - quorum arithmetic: quorumarith — consensus-threshold arithmetic on n
+//     and k belongs in internal/quorum; open-coded (n+k)/2, 2*k+1, or n/2
+//     comparisons elsewhere are findings (quorumrule.go).
 //
 // A finding may be suppressed with a directive on the same line or the line
 // immediately above:
@@ -87,6 +98,33 @@ type Config struct {
 	// HotFuncs lists additional hot-path roots as "importpath.Func" or
 	// "importpath.Type.Method" (receiver base type, pointer stripped).
 	HotFuncs []string
+	// LockPkgs lists import paths subject to the lock-safety rules
+	// (lockblock, lockorder, lockreturn): the packages with real mutexes.
+	LockPkgs []string
+	// BlockingFuncs lists functions treated as blocking operations by the
+	// lockblock rule, as "importpath.Func" or "importpath.Type.Method"
+	// (interface methods included — e.g. a transport's Send, which may
+	// block on backpressure).
+	BlockingFuncs []string
+	// MsgKindType is the fully qualified named type ("importpath.Name")
+	// whose constants every dispatch root must cover (msgexhaustive).
+	MsgKindType string
+	// DispatchIfaces lists dispatch roots as "importpath.Iface.Method":
+	// that method of every module type implementing the interface.
+	DispatchIfaces []string
+	// DispatchFuncs lists additional dispatch roots in the HotFuncs form.
+	DispatchFuncs []string
+	// QuorumAllowedPkgs lists import paths where threshold arithmetic on
+	// n and k is audited and therefore legal (quorumarith).
+	QuorumAllowedPkgs []string
+	// QuorumAllowedFuncs lists individual functions (HotFuncs form) exempt
+	// from quorumarith — sizing planners that own their arithmetic.
+	QuorumAllowedFuncs []string
+	// Rules optionally restricts the run to the named rule families
+	// ("determinism", "hotalloc", "metricshandle", "seedhygiene",
+	// "locksafety", "msgexhaustive", "quorumarith"). Empty means all. Used
+	// by the per-family benchmarks; the CLI always runs everything.
+	Rules []string
 }
 
 // ProjectConfig returns the configuration for this repository's module
@@ -149,6 +187,47 @@ func ProjectConfig(dir string) Config {
 			mod + "/internal/sample.Tracker.Observe",
 			mod + "/internal/mc.Broadcast.trial",
 		},
+		LockPkgs: []string{
+			// The packages with real mutexes: the TCP transport's per-peer
+			// links and endpoint table, the livenet policy layer's delivery
+			// timers, the in-memory transports, the metrics registry, the
+			// trace buffer, and the sweep error latch.
+			mod + "/internal/netxport",
+			mod + "/internal/livenet",
+			mod + "/internal/transport",
+			mod + "/internal/metrics",
+			mod + "/internal/trace",
+			mod + "/internal/sweep",
+		},
+		BlockingFuncs: []string{
+			// transport.Conn sends may block on backpressure (netxport's
+			// queue cap) and receives always block; neither belongs inside a
+			// critical section.
+			mod + "/internal/transport.Conn.Send",
+			mod + "/internal/transport.Conn.Recv",
+		},
+		MsgKindType: mod + "/internal/msg.Kind",
+		DispatchIfaces: []string{
+			// Every protocol machine's message dispatch must cover the wire
+			// kinds; forwarding wrappers that never read Kind are exempt.
+			mod + "/internal/core.Machine.OnMessage",
+		},
+		QuorumAllowedPkgs: []string{
+			// quorum owns the audited threshold helpers; dist derives its
+			// view distributions from the same bounds.
+			mod + "/internal/quorum",
+			mod + "/internal/dist",
+		},
+		QuorumAllowedFuncs: []string{
+			// The sampled-broadcast planner sizes its samples from the
+			// ε-tail analysis (arXiv 1908.01738), not the Figure-2 quorums;
+			// its arithmetic is audited in plan_test.go against the paper.
+			mod + "/internal/sample.NewPlan",
+			mod + "/internal/sample.sizeStage",
+			mod + "/internal/sample.minSafetyThreshold",
+			mod + "/internal/sample.Plan.Degenerate",
+			mod + "/internal/sample.Plan.EchoFailure",
+		},
 	}
 }
 
@@ -160,16 +239,45 @@ func Run(cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runLoaded(cfg, pkgs, fset), nil
+}
+
+// runLoaded analyzes an already-loaded module. Splitting the load from the
+// analysis lets BenchmarkLintTree time each rule family without re-parsing
+// and re-type-checking the tree per family.
+func runLoaded(cfg Config, pkgs []*pkgInfo, fset *token.FileSet) []Finding {
 	a := &analysis{cfg: cfg, fset: fset, pkgs: pkgs}
 	a.buildIndex()
 	a.buildHotSet()
-	a.checkDeterminism()
-	a.checkHotAllocs()
-	a.checkMetricsDiscipline()
-	a.checkSeedHygiene()
+	if a.ruleOn("determinism") {
+		a.checkDeterminism()
+	}
+	if a.ruleOn("hotalloc") {
+		a.checkHotAllocs()
+	}
+	if a.ruleOn("metricshandle") {
+		a.checkMetricsDiscipline()
+	}
+	if a.ruleOn("seedhygiene") {
+		a.checkSeedHygiene()
+	}
+	if a.ruleOn("locksafety") {
+		a.checkLockSafety()
+	}
+	if a.ruleOn("msgexhaustive") {
+		a.checkMsgExhaustive()
+	}
+	if a.ruleOn("quorumarith") {
+		a.checkQuorumArith()
+	}
 	a.applyAllowDirectives()
 	sortFindings(a.findings)
-	return a.findings, nil
+	return a.findings
+}
+
+// ruleOn reports whether a rule family runs under cfg.Rules (empty = all).
+func (a *analysis) ruleOn(family string) bool {
+	return len(a.cfg.Rules) == 0 || containsString(a.cfg.Rules, family)
 }
 
 // WriteJSON renders findings as indented JSON ("[]" when empty) followed by
@@ -183,6 +291,27 @@ func WriteJSON(findings []Finding) ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// WriteGitHub renders findings as GitHub Actions workflow commands, one
+// "::error" annotation per finding, so a CI step's findings attach inline to
+// the offending lines of a pull request. Empty findings render nothing.
+func WriteGitHub(findings []Finding) []byte {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "::error file=%s,line=%d,col=%d,title=consensuslint %s::%s\n",
+			f.File, f.Line, f.Col, f.Rule, githubEscape(f.Message))
+	}
+	return []byte(b.String())
+}
+
+// githubEscape encodes the characters the workflow-command grammar reserves
+// in message data.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func sortFindings(fs []Finding) {

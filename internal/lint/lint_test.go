@@ -13,15 +13,24 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixtureConfig mirrors ProjectConfig for the fixture module under testdata:
 // det and pool are the deterministic packages (pool goroutine-blessed),
-// core.Machine is the hot interface, and hot.Drive a named hot root.
+// core.Machine is the hot interface and the dispatch root, hot.Drive a named
+// hot root, locks the lock-safety package, and thresh the audited threshold
+// home.
 func fixtureConfig() Config {
 	return Config{
-		Dir:               filepath.Join("testdata", "fixturemod"),
-		DeterministicPkgs: []string{"fixture/det", "fixture/pool"},
-		GoroutineAllowed:  []string{"fixture/pool"},
-		MetricsPkg:        "fixture/metrics",
-		HotIfaces:         []string{"fixture/core.Machine"},
-		HotFuncs:          []string{"fixture/hot.Drive"},
+		Dir:                filepath.Join("testdata", "fixturemod"),
+		DeterministicPkgs:  []string{"fixture/det", "fixture/pool"},
+		GoroutineAllowed:   []string{"fixture/pool"},
+		MetricsPkg:         "fixture/metrics",
+		HotIfaces:          []string{"fixture/core.Machine"},
+		HotFuncs:           []string{"fixture/hot.Drive"},
+		LockPkgs:           []string{"fixture/locks"},
+		BlockingFuncs:      []string{"fixture/core.Sender.Send"},
+		MsgKindType:        "fixture/core.Kind",
+		DispatchIfaces:     []string{"fixture/core.Machine.OnMessage"},
+		DispatchFuncs:      []string{"fixture/dispatch.Consume"},
+		QuorumAllowedPkgs:  []string{"fixture/thresh"},
+		QuorumAllowedFuncs: []string{"fixture/arith.Sizer"},
 	}
 }
 
@@ -74,6 +83,8 @@ func TestEveryRuleRepresented(t *testing.T) {
 	for _, want := range []string{
 		"walltime", "globalrand", "maprange", "goroutine",
 		"hotalloc", "metricshandle", "seedhygiene", "allow",
+		"lockblock", "lockorder", "lockreturn",
+		"msgexhaustive", "quorumarith",
 	} {
 		if !rules[want] {
 			t.Errorf("no fixture finding exercises rule %q", want)
@@ -106,6 +117,23 @@ func TestFindingsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(j1, j2) {
 		t.Error("JSON output differs between identical runs")
+	}
+}
+
+// TestWriteGitHub pins the Actions annotation encoding, including the
+// workflow-command escaping of %, CR, and LF in messages.
+func TestWriteGitHub(t *testing.T) {
+	got := WriteGitHub([]Finding{
+		{File: "a/b.go", Line: 3, Col: 7, Rule: "lockblock", Message: "x held"},
+		{File: "c.go", Line: 1, Col: 1, Rule: "allow", Message: "100% sure\nline two"},
+	})
+	want := "::error file=a/b.go,line=3,col=7,title=consensuslint lockblock::x held\n" +
+		"::error file=c.go,line=1,col=1,title=consensuslint allow::100%25 sure%0Aline two\n"
+	if string(got) != want {
+		t.Errorf("WriteGitHub:\n got %q\nwant %q", got, want)
+	}
+	if out := WriteGitHub(nil); len(out) != 0 {
+		t.Errorf("WriteGitHub(nil) = %q, want empty", out)
 	}
 }
 

@@ -1,0 +1,840 @@
+// Lock-safety rules. PRs 5-8 made the live half of the repository genuinely
+// concurrent — per-peer write locks with coalescing writers in netxport,
+// wall-clock delivery timers in livenet, striped registries in metrics — and
+// the invariants that keep it deadlock- and wedge-free are conventions the
+// compiler cannot see: never block on I/O or a channel while a mutex is
+// held, acquire any two mutexes in one global order, and never leave a
+// function with a lock still held unless a defer guards it.
+//
+// Three rules enforce those conventions over every package listed in
+// Config.LockPkgs:
+//
+//   - lockblock: a blocking operation (channel send/receive, select without
+//     default, time.Sleep, net dial/read/write, WaitGroup.Wait, io.ReadFull
+//     and friends, or a call that transitively reaches one) executes while a
+//     sync.Mutex/RWMutex is held. sync.Cond.Wait is exempt — it releases the
+//     mutex while waiting and is the blessed backpressure idiom.
+//   - lockorder: two lock classes are acquired in opposite orders somewhere
+//     in the package (the classic AB/BA deadlock shape), or a class is
+//     re-acquired while an instance of it is already held (sync mutexes are
+//     not reentrant).
+//   - lockreturn: a path returns with a lock still held and no defer
+//     guarding its release.
+//
+// The analysis is a per-function held-set walk over the typed AST: lock
+// classes are identified by (struct type, field name) for mutex fields and
+// by object identity for mutex variables; branches are walked with copies of
+// the held set and merged by intersection (a lock is "held" after a branch
+// only if every non-terminating arm holds it), so only must-hold facts
+// produce findings. Function literals are walked as independent roots with
+// an empty held set — goroutine bodies and stored callbacks run on their own
+// stacks — and calls reached through `go` or `defer` statements do not
+// propagate blocking or acquisition facts. Blocking and lock-acquisition
+// summaries propagate transitively over the module's static call graph, so a
+// helper that hides a net.Dial three calls deep still triggers lockblock at
+// the outermost call made under a lock.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// blockingNetFuncPrefixes match package-level net functions that perform
+// network I/O (net.Dial, net.DialTimeout, net.Listen, net.LookupHost, ...).
+// Pure helpers (JoinHostPort, ParseIP) do not block.
+var blockingNetFuncPrefixes = []string{"Dial", "Listen", "Lookup", "Resolve"}
+
+// blockingNetMethods are methods on net package types that perform I/O.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "AcceptTCP": true,
+	"ReadFrom": true, "WriteTo": true, "Dial": true, "DialContext": true,
+}
+
+// blockingIOFuncs are io package helpers that block until their reader or
+// writer does.
+var blockingIOFuncs = map[string]bool{
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true, "CopyBuffer": true,
+}
+
+// lockOp classifies one sync mutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// heldLock is one mutex class currently held on the walked path.
+type heldLock struct {
+	class   string    // lock class key, e.g. "peerLink.mu"
+	pos     token.Pos // acquisition site
+	guarded bool      // a defer releases it
+}
+
+// heldSet is the ordered set of locks held on the current path.
+type heldSet []heldLock
+
+func (h heldSet) clone() heldSet { return append(heldSet(nil), h...) }
+
+func (h heldSet) index(class string) int {
+	for i := range h {
+		if h[i].class == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// intersect keeps only the locks held in both sets (by class), preserving
+// h's order and merging the guarded flag conservatively (guarded only if
+// guarded on both arms).
+func intersect(a, b heldSet) heldSet {
+	var out heldSet
+	for _, l := range a {
+		if j := b.index(l.class); j >= 0 {
+			l.guarded = l.guarded && b[j].guarded
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// funcFacts is the per-function summary used for transitive propagation.
+type funcFacts struct {
+	mayBlock bool
+	blockVia string          // human label for the ultimate blocking operation
+	acquires map[string]bool // lock classes the function may acquire
+}
+
+// lockEdge records the first site at which class `after` was acquired while
+// `before` was held.
+type lockEdge struct {
+	pos token.Pos
+	fn  string // enclosing function name, for the diagnostic
+}
+
+// lockAnalysis carries the package-local state of one locksafety pass.
+type lockAnalysis struct {
+	a     *analysis
+	p     *pkgInfo
+	facts map[*types.Func]*funcFacts
+	edges map[[2]string]lockEdge
+}
+
+// checkLockSafety runs the three lock rules over every configured package.
+func (a *analysis) checkLockSafety() {
+	facts := a.buildLockFacts()
+	for _, p := range a.pkgs {
+		if !containsString(a.cfg.LockPkgs, p.path) {
+			continue
+		}
+		la := &lockAnalysis{a: a, p: p, facts: facts, edges: map[[2]string]lockEdge{}}
+		for _, root := range la.roots() {
+			la.walkRoot(root)
+		}
+		la.reportOrderConflicts()
+	}
+}
+
+// lockRoot is one independently executing body: a declared function or a
+// function literal (goroutine body, timer callback, stored closure).
+type lockRoot struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// roots lists every function declaration and every function literal in the
+// package, in source order. Literals start with an empty held set: they run
+// on their own stack, not their creator's.
+func (la *lockAnalysis) roots() []lockRoot {
+	var out []lockRoot
+	for _, f := range la.p.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, lockRoot{name: fd.Name.Name, body: fd.Body})
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, lockRoot{name: name + " (func literal)", body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (la *lockAnalysis) walkRoot(root lockRoot) {
+	la.walkStmts(root.body.List, nil, root.name)
+}
+
+// walkStmts walks a statement list with the given held set, returning the
+// held set at the fall-through exit and whether every path terminated
+// (returned) before reaching it.
+func (la *lockAnalysis) walkStmts(stmts []ast.Stmt, held heldSet, fn string) (heldSet, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = la.walkStmt(s, held, fn)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (la *lockAnalysis) walkStmt(s ast.Stmt, held heldSet, fn string) (heldSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return la.walkStmts(s.List, held, fn)
+	case *ast.LabeledStmt:
+		return la.walkStmt(s.Stmt, held, fn)
+	case *ast.ExprStmt:
+		return la.walkExpr(s.X, held, fn), false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			held = la.walkExpr(r, held, fn)
+		}
+		for _, l := range s.Lhs {
+			held = la.walkExpr(l, held, fn)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = la.walkExpr(v, held, fn)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		return la.walkExpr(s.X, held, fn), false
+	case *ast.SendStmt:
+		held = la.walkExpr(s.Chan, held, fn)
+		held = la.walkExpr(s.Value, held, fn)
+		la.blockWhileHeld(s.Arrow, held, fn, "channel send")
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = la.walkExpr(r, held, fn)
+		}
+		la.checkReturn(s.Return, held, fn)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current straight-line path; treating
+		// them as terminators keeps the post-branch merge from intersecting
+		// with a path that jumped away.
+		return held, true
+	case *ast.DeferStmt:
+		la.applyDeferGuards(s.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// The spawned body runs on its own stack (walked as a separate root);
+		// evaluate only the call operands, which run on this path.
+		for _, arg := range s.Call.Args {
+			held = la.walkExpr(arg, held, fn)
+		}
+		return held, false
+	case *ast.IfStmt:
+		held, _ = la.walkStmt(s.Init, held, fn)
+		held = la.walkExpr(s.Cond, held, fn)
+		thenHeld, thenTerm := la.walkStmts(s.Body.List, held.clone(), fn)
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = la.walkStmt(s.Else, held.clone(), fn)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersect(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		held, _ = la.walkStmt(s.Init, held, fn)
+		if s.Cond != nil {
+			held = la.walkExpr(s.Cond, held, fn)
+		}
+		// The body is walked once for its own findings; lock-state changes
+		// inside a loop body are balanced per iteration in well-formed code,
+		// so the post-loop state is the pre-loop state (must-hold
+		// approximation).
+		la.walkStmts(s.Body.List, held.clone(), fn)
+		if s.Post != nil {
+			la.walkStmt(s.Post, held.clone(), fn)
+		}
+		return held, false
+	case *ast.RangeStmt:
+		held = la.walkExpr(s.X, held, fn)
+		if t := la.p.info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				la.blockWhileHeld(s.Range, held, fn, "range over a channel")
+			}
+		}
+		la.walkStmts(s.Body.List, held.clone(), fn)
+		return held, false
+	case *ast.SwitchStmt:
+		held, _ = la.walkStmt(s.Init, held, fn)
+		if s.Tag != nil {
+			held = la.walkExpr(s.Tag, held, fn)
+		}
+		return la.walkCases(s.Body, held, fn, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		held, _ = la.walkStmt(s.Init, held, fn)
+		held, _ = la.walkStmt(s.Assign, held, fn)
+		return la.walkCases(s.Body, held, fn, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		if !hasDefaultComm(s.Body) {
+			la.blockWhileHeld(s.Select, held, fn, "select without default")
+		}
+		return la.walkCases(s.Body, held, fn, true)
+	default:
+		return held, false
+	}
+}
+
+// walkCases merges the arms of a switch/type-switch/select body. An absent
+// default arm means the pre-state itself is a possible exit, so it joins the
+// intersection.
+func (la *lockAnalysis) walkCases(body *ast.BlockStmt, held heldSet, fn string, hasDefault bool) (heldSet, bool) {
+	type arm struct {
+		held heldSet
+		term bool
+	}
+	var arms []arm
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			h := held.clone()
+			for _, e := range c.List {
+				h = la.walkExpr(e, h, fn)
+			}
+			h, t := la.walkStmts(c.Body, h, fn)
+			arms = append(arms, arm{h, t})
+		case *ast.CommClause:
+			h := held.clone()
+			if c.Comm != nil {
+				// The comm op itself executes after selection; channel
+				// blocking is reported once at the select, not per arm.
+				if es, ok := c.Comm.(*ast.ExprStmt); ok {
+					if ue, ok := es.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+						h = la.walkExpr(ue.X, h, fn)
+					}
+				}
+			}
+			h, t := la.walkStmts(c.Body, h, fn)
+			arms = append(arms, arm{h, t})
+		}
+	}
+	if !hasDefault {
+		arms = append(arms, arm{held, false})
+	}
+	var out heldSet
+	first := true
+	allTerm := len(arms) > 0
+	for _, a := range arms {
+		if a.term {
+			continue
+		}
+		allTerm = false
+		if first {
+			out, first = a.held, false
+		} else {
+			out = intersect(out, a.held)
+		}
+	}
+	if allTerm {
+		return held, true
+	}
+	return out, false
+}
+
+// walkExpr walks an expression for lock operations, blocking operations, and
+// calls, returning the updated held set. Function literals are skipped: they
+// are separate roots.
+func (la *lockAnalysis) walkExpr(e ast.Expr, held heldSet, fn string) heldSet {
+	switch e := e.(type) {
+	case nil:
+		return held
+	case *ast.FuncLit:
+		return held
+	case *ast.UnaryExpr:
+		held = la.walkExpr(e.X, held, fn)
+		if e.Op == token.ARROW {
+			la.blockWhileHeld(e.OpPos, held, fn, "channel receive")
+		}
+		return held
+	case *ast.CallExpr:
+		held = la.walkExpr(e.Fun, held, fn)
+		for _, arg := range e.Args {
+			held = la.walkExpr(arg, held, fn)
+		}
+		return la.applyCall(e, held, fn)
+	case *ast.BinaryExpr:
+		held = la.walkExpr(e.X, held, fn)
+		return la.walkExpr(e.Y, held, fn)
+	case *ast.ParenExpr:
+		return la.walkExpr(e.X, held, fn)
+	case *ast.SelectorExpr:
+		return la.walkExpr(e.X, held, fn)
+	case *ast.IndexExpr:
+		held = la.walkExpr(e.X, held, fn)
+		return la.walkExpr(e.Index, held, fn)
+	case *ast.IndexListExpr:
+		held = la.walkExpr(e.X, held, fn)
+		for _, ix := range e.Indices {
+			held = la.walkExpr(ix, held, fn)
+		}
+		return held
+	case *ast.SliceExpr:
+		held = la.walkExpr(e.X, held, fn)
+		held = la.walkExpr(e.Low, held, fn)
+		held = la.walkExpr(e.High, held, fn)
+		return la.walkExpr(e.Max, held, fn)
+	case *ast.StarExpr:
+		return la.walkExpr(e.X, held, fn)
+	case *ast.TypeAssertExpr:
+		return la.walkExpr(e.X, held, fn)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = la.walkExpr(el, held, fn)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		held = la.walkExpr(e.Key, held, fn)
+		return la.walkExpr(e.Value, held, fn)
+	default:
+		return held
+	}
+}
+
+// applyCall classifies one call on the walked path: a mutex operation
+// updates the held set, a blocking operation reports lockblock, and a module
+// call applies its transitive summary.
+func (la *lockAnalysis) applyCall(call *ast.CallExpr, held heldSet, fn string) heldSet {
+	info := la.p.info
+
+	if op, class, ok := la.mutexOp(call); ok {
+		switch op {
+		case opLock:
+			la.recordAcquire(call.Pos(), class, held, fn)
+			if held.index(class) < 0 {
+				held = append(held.clone(), heldLock{class: class, pos: call.Pos()})
+			}
+		case opUnlock:
+			if i := held.index(class); i >= 0 {
+				held = append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return held
+	}
+	if label, blocks := la.blockingCall(callee); blocks {
+		la.blockWhileHeld(call.Pos(), held, fn, label)
+		return held
+	}
+	if facts, ok := la.facts[callee]; ok {
+		if facts.mayBlock {
+			la.blockWhileHeld(call.Pos(), held, fn,
+				fmt.Sprintf("call to %s (reaches %s)", callee.Name(), facts.blockVia))
+		}
+		for _, class := range sortedKeys(facts.acquires) {
+			la.recordAcquire(call.Pos(), class, held, fn)
+		}
+	}
+	return held
+}
+
+// recordAcquire adds ordering edges held -> class and flags re-acquisition
+// of an already-held class.
+func (la *lockAnalysis) recordAcquire(pos token.Pos, class string, held heldSet, fn string) {
+	for _, h := range held {
+		if h.class == class {
+			la.a.report(pos, "lockorder",
+				"%s acquired in %s while an instance of %s is already held (line %d); sync mutexes are not reentrant",
+				class, fn, class, la.a.fset.Position(h.pos).Line)
+			continue
+		}
+		key := [2]string{h.class, class}
+		if _, seen := la.edges[key]; !seen {
+			la.edges[key] = lockEdge{pos: pos, fn: fn}
+		}
+	}
+}
+
+// blockWhileHeld reports lockblock when the held set is non-empty.
+func (la *lockAnalysis) blockWhileHeld(pos token.Pos, held heldSet, fn, what string) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, len(held))
+	for i, h := range held {
+		names[i] = h.class
+	}
+	sort.Strings(names)
+	la.a.report(pos, "lockblock",
+		"%s in %s while %s is held; release the lock before blocking or move the operation out of the critical section",
+		what, fn, strings.Join(names, " and "))
+}
+
+// checkReturn reports lockreturn for held, non-defer-guarded locks.
+func (la *lockAnalysis) checkReturn(pos token.Pos, held heldSet, fn string) {
+	for _, h := range held {
+		if h.guarded {
+			continue
+		}
+		la.a.report(pos, "lockreturn",
+			"return from %s with %s still held (locked at line %d and no defer releases it); unlock on every path or defer the unlock",
+			fn, h.class, la.a.fset.Position(h.pos).Line)
+	}
+}
+
+// applyDeferGuards marks locks released by a defer: either a direct
+// `defer x.mu.Unlock()` or a deferred closure containing unlock calls.
+func (la *lockAnalysis) applyDeferGuards(call *ast.CallExpr, held heldSet) {
+	guard := func(c *ast.CallExpr) {
+		if op, class, ok := la.mutexOp(c); ok && op == opUnlock {
+			if i := held.index(class); i >= 0 {
+				held[i].guarded = true
+			}
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				guard(c)
+			}
+			return true
+		})
+		return
+	}
+	guard(call)
+}
+
+// reportOrderConflicts emits lockorder findings for every class pair acquired
+// in both orders within the package.
+func (la *lockAnalysis) reportOrderConflicts() {
+	var keys [][2]string
+	for k := range la.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rev := [2]string{k[1], k[0]}
+		other, conflict := la.edges[rev]
+		if !conflict || k[0] > k[1] {
+			continue // report each conflicting pair once, from its lexically first direction
+		}
+		e := la.edges[k]
+		la.a.report(e.pos, "lockorder",
+			"%s acquired while %s is held in %s, but %s acquires them in the opposite order (line %d); pick one global order",
+			k[1], k[0], e.fn, other.fn, la.a.fset.Position(other.pos).Line)
+		la.a.report(other.pos, "lockorder",
+			"%s acquired while %s is held in %s, but %s acquires them in the opposite order (line %d); pick one global order",
+			k[0], k[1], other.fn, e.fn, la.a.fset.Position(e.pos).Line)
+	}
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex lock or unlock and
+// resolves the lock class it targets.
+func (la *lockAnalysis) mutexOp(call *ast.CallExpr) (lockOp, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, "", false
+	}
+	fn, ok := la.p.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, "", false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return opNone, "", false
+	}
+	var op lockOp
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return opNone, "", false
+	}
+	class, ok := la.lockClass(sel.X)
+	if !ok {
+		return opNone, "", false
+	}
+	return op, class, true
+}
+
+// lockClass names the mutex an expression denotes: "OwnerType.field" for a
+// struct field, "pkgvar <name>" for a package-level variable, "<name>" for a
+// local. Field classes are shared across instances of the owning type —
+// coarse, but exactly the granularity a lock-ordering convention is written
+// at.
+func (la *lockAnalysis) lockClass(e ast.Expr) (string, bool) {
+	info := la.p.info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if obj.IsField() {
+			owner := ""
+			if t := info.TypeOf(e.X); t != nil {
+				owner = namedTypeName(t)
+			}
+			if owner == "" {
+				return "", false
+			}
+			return owner + "." + obj.Name(), true
+		}
+		return obj.Name(), true // package-level var accessed via pkg selector
+	case *ast.Ident:
+		obj, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// blockingCall reports whether a resolved callee is an inherently blocking
+// standard-library operation or a configured blocking function, with a label
+// for the diagnostic.
+func (la *lockAnalysis) blockingCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	name := fn.Name()
+	recv := recvTypeName(fn)
+	switch pkg.Path() {
+	case "time":
+		if recv == "" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net":
+		if recv == "" {
+			for _, prefix := range blockingNetFuncPrefixes {
+				if strings.HasPrefix(name, prefix) {
+					return "net." + name, true
+				}
+			}
+		} else if blockingNetMethods[name] {
+			return "net." + recv + "." + name, true
+		}
+	case "io":
+		if recv == "" && blockingIOFuncs[name] {
+			return "io." + name, true
+		}
+	case "sync":
+		if recv == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait", true
+		}
+	}
+	if containsString(la.a.cfg.BlockingFuncs, funcKey(fn)) {
+		return funcKey(fn), true
+	}
+	return "", false
+}
+
+// buildLockFacts computes, for every module function, whether it may block
+// and which lock classes it may acquire, propagated over static calls
+// (excluding go and defer statements) to a fixed point.
+func (a *analysis) buildLockFacts() map[*types.Func]*funcFacts {
+	facts := make(map[*types.Func]*funcFacts, len(a.decls))
+	callers := make(map[*types.Func][]*types.Func) // callee -> callers
+	for fn := range a.decls {
+		facts[fn] = &funcFacts{acquires: map[string]bool{}}
+	}
+
+	var work []*types.Func
+	enqueue := func(fn *types.Func) { work = append(work, fn) }
+
+	for fn, site := range a.decls {
+		p := site.pkg
+		la := &lockAnalysis{a: a, p: p} // for mutexOp/blockingCall/lockClass only
+		f := facts[fn]
+		skip := map[ast.Node]bool{}
+		ast.Inspect(site.decl, func(n ast.Node) bool {
+			if skip[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				skip[n.Call] = true // spawned work does not block the caller
+				return true
+			case *ast.DeferStmt:
+				skip[n.Call] = true // deferred work runs at return
+				return true
+			case *ast.FuncLit:
+				return false // separate execution context
+			case *ast.SendStmt:
+				f.setBlock("channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					f.setBlock("channel receive")
+				}
+			case *ast.RangeStmt:
+				if t := p.info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						f.setBlock("range over a channel")
+					}
+				}
+			case *ast.SelectStmt:
+				if !hasDefaultComm(n.Body) {
+					f.setBlock("select without default")
+				}
+			case *ast.CallExpr:
+				if op, class, ok := la.mutexOp(n); ok {
+					if op == opLock {
+						f.acquires[class] = true
+					}
+					return true
+				}
+				callee := calleeFunc(p.info, n)
+				if callee == nil {
+					return true
+				}
+				if label, blocks := la.blockingCall(callee); blocks {
+					f.setBlock(label)
+					return true
+				}
+				if _, inModule := a.decls[callee]; inModule {
+					callers[callee] = append(callers[callee], fn)
+				}
+			}
+			return true
+		})
+		enqueue(fn)
+	}
+
+	// Propagate to a fixed point: a caller blocks if any callee blocks, and
+	// acquires everything its callees acquire.
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		f := facts[fn]
+		for _, caller := range callers[fn] {
+			cf := facts[caller]
+			changed := false
+			if f.mayBlock && !cf.mayBlock {
+				cf.mayBlock = true
+				cf.blockVia = fn.Name() + " -> " + f.blockVia
+				changed = true
+			}
+			for class := range f.acquires {
+				if !cf.acquires[class] {
+					cf.acquires[class] = true
+					changed = true
+				}
+			}
+			if changed {
+				enqueue(caller)
+			}
+		}
+	}
+	return facts
+}
+
+func (f *funcFacts) setBlock(label string) {
+	if !f.mayBlock {
+		f.mayBlock = true
+		f.blockVia = label
+	}
+}
+
+// hasDefaultCase reports whether a switch body has a default clause.
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDefaultComm reports whether a select body has a default clause.
+func hasDefaultComm(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the bare name of a method's receiver type ("" for
+// package-level functions), pointers stripped.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedTypeName(sig.Recv().Type())
+}
+
+// namedTypeName resolves a type to its named base ("peerLink" for
+// *peerLink), or "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return ""
+		}
+	}
+}
+
+// funcKey renders a function as "pkgpath.Name" or "pkgpath.Recv.Name", the
+// Config.BlockingFuncs form.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return fn.Pkg().Path() + "." + recv + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,62 @@
+// Package arith exercises the quorumarith rule: each threshold shape appears
+// once outside the audited thresh package — the (n±k)/2 half-split, the
+// 2x-scaled comparison, the halved-count comparison, and the 2k+1 resilience
+// bound — alongside the arithmetic on n-named values that must stay legal
+// (positional indexing, scaling an unrelated limit), an annotated exception,
+// and a QuorumAllowedFuncs-exempt sizing function.
+package arith
+
+// Config mirrors the engine config's process-count fields.
+type Config struct {
+	N, K int
+}
+
+// Decide compares against the open-coded Figure-2 threshold: quorumarith
+// finding (comparison against a halved count).
+func Decide(c Config, count int) bool {
+	return count > (c.N+c.K)/2
+}
+
+// Accept computes the half-split threshold as a value: quorumarith finding
+// ((n±k)/2 half-split).
+func Accept(c Config) int {
+	return (c.N+c.K)/2 + 1
+}
+
+// Absorbed open-codes the doubled comparison: quorumarith finding (scaled
+// comparison).
+func Absorbed(c Config, i int) bool {
+	return 2*i > c.N+c.K
+}
+
+// Majority compares against a halved process count: quorumarith finding.
+func Majority(q, n int) bool {
+	return q < n/2
+}
+
+// MinN open-codes the 2k+1 resilience bound: quorumarith finding.
+func MinN(k int) int {
+	return 2*k + 1
+}
+
+// Window keeps one deliberate local threshold behind a reasoned allow:
+// suppressed.
+func Window(n, k, i int) bool {
+	//lint:allow quorumarith fixture demo: window bound audited against the markov chain
+	return 2*i < n-k
+}
+
+// Sizer owns its arithmetic (QuorumAllowedFuncs names it): no finding.
+func Sizer(n, k int) int {
+	return (n+k)/2 + k
+}
+
+// Mid indexes with n/2 — positional arithmetic, not a threshold: no finding.
+func Mid(xs []int, n int) int {
+	return xs[n/2]
+}
+
+// Twice scales an unrelated limit: no finding.
+func Twice(i, limit int) bool {
+	return i < 2*limit
+}

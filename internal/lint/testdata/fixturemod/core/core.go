@@ -1,16 +1,37 @@
 // Package core declares the fixture machine contract. Methods of types
-// implementing Machine are hot-path roots for the hotalloc rule, mirroring
-// the real module's core.Machine.
+// implementing Machine are hot-path roots for the hotalloc rule and dispatch
+// roots for the msgexhaustive rule, mirroring the real module's core.Machine;
+// Sender.Send is the configured blocking transport call for the lockblock
+// rule, mirroring transport.Conn.Send.
 package core
+
+// Kind discriminates fixture messages, mirroring the real msg.Kind.
+type Kind uint8
+
+// The fixture wire kinds. Every dispatch root that reads Kind must take a
+// position on each of these.
+const (
+	KindPing Kind = iota + 1
+	KindPong
+	KindData
+)
 
 // Msg is a fixture message.
 type Msg struct {
 	From, To int
+	Kind     Kind
 	Value    int
 }
 
-// Machine is the fixture hot interface.
+// Machine is the fixture hot interface; OnMessage is also the dispatch root
+// for the msgexhaustive rule.
 type Machine interface {
 	ID() int
 	OnMessage(in Msg) []Msg
+}
+
+// Sender is the fixture transport send contract. Send may block on
+// backpressure, so Config.BlockingFuncs names it for the lockblock rule.
+type Sender interface {
+	Send(m Msg) error
 }

@@ -1,0 +1,147 @@
+// Package dispatch exercises the msgexhaustive rule: machines that cover
+// every fixture kind (directly or through a same-package helper), machines
+// that miss one, guard-style dispatch, a forwarding wrapper that never reads
+// Kind, a machine implementing core.Machine only through an embedded base,
+// an explicitly configured dispatch function, and an annotated exception.
+//
+// Every OnMessage here is also a hot root (core.Machine), so the bodies stay
+// allocation-free by construction.
+package dispatch
+
+import "fixture/core"
+
+// Exhaustive switches over every kind, ignoring Data explicitly: no finding.
+type Exhaustive struct{ id int }
+
+// ID implements core.Machine.
+func (e *Exhaustive) ID() int { return e.id }
+
+// OnMessage implements core.Machine.
+func (e *Exhaustive) OnMessage(in core.Msg) []core.Msg {
+	switch in.Kind {
+	case core.KindPing:
+		e.id++
+	case core.KindPong:
+		e.id--
+	case core.KindData:
+		// Explicitly ignored: data frames are the tracker's business.
+	}
+	return nil
+}
+
+// Partial handles Ping and Pong but takes no position on Data: msgexhaustive
+// finding.
+type Partial struct{ id int }
+
+// ID implements core.Machine.
+func (p *Partial) ID() int { return p.id }
+
+// OnMessage implements core.Machine; it misses KindData.
+func (p *Partial) OnMessage(in core.Msg) []core.Msg {
+	switch in.Kind {
+	case core.KindPing:
+		p.id++
+	case core.KindPong:
+		p.id--
+	}
+	return nil
+}
+
+// Guard dispatches with a != guard; it reads Kind but names only Ping:
+// msgexhaustive finding listing KindPong and KindData.
+type Guard struct{ id int }
+
+// ID implements core.Machine.
+func (g *Guard) ID() int { return g.id }
+
+// OnMessage implements core.Machine in the guard style.
+func (g *Guard) OnMessage(in core.Msg) []core.Msg {
+	if in.Kind != core.KindPing {
+		return nil
+	}
+	g.id++
+	return nil
+}
+
+// Forward never reads Kind — it relays the message untouched — so it makes
+// no dispatch decision and is exempt: no finding.
+type Forward struct{ inner core.Machine }
+
+// ID implements core.Machine.
+func (f *Forward) ID() int { return f.inner.ID() }
+
+// OnMessage implements core.Machine by pure forwarding.
+func (f *Forward) OnMessage(in core.Msg) []core.Msg { return f.inner.OnMessage(in) }
+
+// Helper covers the kinds through a same-package helper: the closure walk
+// must collect classify's mentions. No finding.
+type Helper struct{ id int }
+
+// ID implements core.Machine.
+func (h *Helper) ID() int { return h.id }
+
+// OnMessage implements core.Machine, delegating the position to classify.
+func (h *Helper) OnMessage(in core.Msg) []core.Msg {
+	if classify(in.Kind) {
+		h.id++
+	}
+	return nil
+}
+
+// classify takes the position for Helper: every kind is named here.
+func classify(k core.Kind) bool {
+	switch k {
+	case core.KindPing, core.KindPong:
+		return true
+	case core.KindData:
+		return false
+	}
+	return false
+}
+
+// base provides ID by promotion, so Embedded satisfies core.Machine only
+// through the embedded field; the implementors walk must still root its
+// OnMessage. It names only Ping: msgexhaustive finding.
+type base struct{ id int }
+
+func (b base) ID() int { return b.id }
+
+// Embedded implements core.Machine via the embedded base.
+type Embedded struct {
+	base
+}
+
+// OnMessage implements core.Machine; it misses KindPong and KindData.
+func (e *Embedded) OnMessage(in core.Msg) []core.Msg {
+	if in.Kind == core.KindPing {
+		e.id++
+	}
+	return nil
+}
+
+// Allowed misses KindData behind a reasoned allow: suppressed.
+type Allowed struct{ id int }
+
+// ID implements core.Machine.
+func (a *Allowed) ID() int { return a.id }
+
+// OnMessage implements core.Machine.
+//
+//lint:allow msgexhaustive fixture demo: Data is consumed by the paired tracker
+func (a *Allowed) OnMessage(in core.Msg) []core.Msg {
+	if in.Kind == core.KindPing || in.Kind == core.KindPong {
+		a.id++
+	}
+	return nil
+}
+
+var sink int
+
+// Consume is an explicitly configured dispatch root (DispatchFuncs); it
+// reads Kind but names only KindData: msgexhaustive finding for Ping and
+// Pong.
+func Consume(in core.Msg) {
+	if in.Kind == core.KindData {
+		sink++
+	}
+}

@@ -58,7 +58,16 @@ func (m *M) dispatch(in core.Msg) []core.Msg {
 	// Map allocation via make: hotalloc finding.
 	counts := make(map[int]int, 2)
 	counts[in.From]++
+	// Generic helper with an inferred instantiation: the hot set must follow
+	// the call and flag the allocation inside tally.
+	_ = tally(in.From)
 	return nil
+}
+
+// tally is a generic helper reached from the hot path.
+func tally[T comparable](k T) map[T]int {
+	// Map literal inside a hot generic helper: hotalloc finding.
+	return map[T]int{k: 1}
 }
 
 // trace formats behind an always-off gate, with an annotated exception: no

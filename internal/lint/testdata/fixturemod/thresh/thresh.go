@@ -1,0 +1,14 @@
+// Package thresh is the fixture's audited threshold home (QuorumAllowedPkgs
+// names it): the same arithmetic that is a quorumarith finding elsewhere is
+// legal here, mirroring the real module's internal/quorum.
+package thresh
+
+// ExceedsHalfNPlusK reports count > (n+k)/2 in overflow-safe form.
+func ExceedsHalfNPlusK(count, n, k int) bool {
+	return 2*count > n+k
+}
+
+// MinProcesses is the 2k+1 fail-stop resilience bound.
+func MinProcesses(k int) int {
+	return 2*k + 1
+}

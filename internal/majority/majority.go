@@ -105,7 +105,16 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 	if !m.started {
 		return nil
 	}
-	if in.Kind != msg.KindValue || !in.Value.Valid() {
+	switch in.Kind {
+	case msg.KindValue:
+		// The only kind this exchange speaks.
+	case msg.KindState, msg.KindInitial, msg.KindEcho, msg.KindBenOrReport,
+		msg.KindBenOrProposal, msg.KindGraph, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
+	default:
+		return nil
+	}
+	if !in.Value.Valid() {
 		return nil
 	}
 	var out []core.Outbound

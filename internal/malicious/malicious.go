@@ -224,6 +224,9 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 		return m.onInitial(in)
 	case msg.KindEcho:
 		return m.onEcho(in)
+	case msg.KindState, msg.KindValue, msg.KindBenOrReport, msg.KindBenOrProposal,
+		msg.KindGraph, msg.KindGossip, msg.KindReady:
+		return nil // explicitly ignored: other protocols' wire kinds
 	default:
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"resilient/internal/matrix"
+	"resilient/internal/quorum"
 )
 
 // AbsorptionSplit computes, for every transient state, the probability that
@@ -18,7 +19,7 @@ func (c FailStop) AbsorptionSplit() ([]float64, error) {
 		return nil, err
 	}
 	return absorptionSplit(c.N+1, c.Absorbed, c.TransitionRow, func(i int) bool {
-		return 2*i > c.N+c.K
+		return quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 	})
 }
 
@@ -28,7 +29,7 @@ func (c Malicious) AbsorptionSplit() ([]float64, error) {
 		return nil, err
 	}
 	return absorptionSplit(c.Correct()+1, c.Absorbed, c.TransitionRow, func(i int) bool {
-		return 2*i > c.N+c.K
+		return quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 	})
 }
 

@@ -54,7 +54,7 @@ func (c FailStop) TransitionRow(i int) []float64 {
 // 2i < n-k (guaranteed collapse to all zeros) or 2i > n+k (to all ones).
 // With k = n/3 these are the paper's regions [0, n/3) and (2n/3, n].
 func (c FailStop) Absorbed(i int) bool {
-	return 2*i < c.N-c.K || 2*i > c.N+c.K
+	return quorum.BelowHalfNMinusK(i, c.N, c.K) || quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 }
 
 // TransientStates returns the non-absorbed states in ascending order.
@@ -100,9 +100,10 @@ type Malicious struct {
 	Forced bool
 }
 
-// Validate checks parameters.
+// Validate checks parameters: the balancing-adversary chain needs a correct
+// majority, n >= 2k+1 (the fail-stop resilience bound).
 func (c Malicious) Validate() error {
-	if c.N < 1 || c.K < 0 || 2*c.K >= c.N {
+	if c.N < 1 || c.K < 0 || c.N < quorum.MinProcesses(c.K, quorum.FailStop) {
 		return fmt.Errorf("markov: invalid malicious chain n=%d k=%d", c.N, c.K)
 	}
 	return nil
@@ -221,7 +222,7 @@ func (c Malicious) TransitionRow(i int) []float64 {
 // Absorbed reports whether state i is in the Section 4.2 absorbing region:
 // states 0..(n-3k)/2-1 and (n+k)/2+1..n-k, i.e. 2i < n-3k or 2i > n+k.
 func (c Malicious) Absorbed(i int) bool {
-	return 2*i < c.N-3*c.K || 2*i > c.N+c.K
+	return quorum.BelowHalfNMinus3K(i, c.N, c.K) || quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 }
 
 // ExpectedAbsorption computes the exact expected phases to absorption from

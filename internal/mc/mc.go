@@ -143,7 +143,7 @@ func (c *FailStop) Validate() error {
 // all-zeros in one phase, i > (n+k)/2 guarantees collapse to all-ones.
 // (With k = n/3 these are the paper's regions [0, n/3) and (2n/3, n].)
 func (c *FailStop) Absorbed(i int) bool {
-	return 2*i < c.N-c.K || 2*i > c.N+c.K
+	return quorum.BelowHalfNMinusK(i, c.N, c.K) || quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 }
 
 // Step simulates one phase from state ones and returns the outcome.
@@ -217,7 +217,7 @@ func (c *FailStop) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phases
 	if err := c.Validate(); err != nil {
 		return 0, false, err
 	}
-	if 3*c.K >= c.N {
+	if c.N < quorum.MinProcesses(c.K, quorum.Malicious) {
 		return 0, false, fmt.Errorf("mc: decision threshold unreachable for n=%d k=%d (need 3k < n)", c.N, c.K)
 	}
 	if start < 0 || start > c.N {
@@ -307,9 +307,10 @@ func (c *Malicious) handles() *chainMetrics {
 	return m
 }
 
-// Validate checks parameters.
+// Validate checks parameters: the balancing-adversary chain needs a correct
+// majority, n >= 2k+1 (the fail-stop resilience bound).
 func (c *Malicious) Validate() error {
-	if c.N < 1 || c.K < 0 || 2*c.K >= c.N {
+	if c.N < 1 || c.K < 0 || c.N < quorum.MinProcesses(c.K, quorum.FailStop) {
 		return fmt.Errorf("mc: invalid malicious chain n=%d k=%d", c.N, c.K)
 	}
 	if c.Model != Mixed && c.Model != Forced {
@@ -324,7 +325,7 @@ func (c *Malicious) Correct() int { return c.N - c.K }
 // Absorbed reports whether state i (correct processes holding 1) is in the
 // paper's absorbing region: i < (n-3k)/2 or i > (n+k)/2 (Section 4.2).
 func (c *Malicious) Absorbed(i int) bool {
-	return 2*i < c.N-3*c.K || 2*i > c.N+c.K
+	return quorum.BelowHalfNMinus3K(i, c.N, c.K) || quorum.ExceedsHalfNPlusK(i, c.N, c.K)
 }
 
 // Step simulates one phase from state ones (correct processes holding 1).
@@ -444,7 +445,7 @@ func (c *Malicious) DecisionRun(start int, rng *rand.Rand, maxPhases int) (phase
 	if err := c.Validate(); err != nil {
 		return 0, false, err
 	}
-	if 3*c.K >= c.N {
+	if c.N < quorum.MinProcesses(c.K, quorum.Malicious) {
 		return 0, false, fmt.Errorf("mc: decision threshold unreachable for n=%d k=%d (need 3k < n)", c.N, c.K)
 	}
 	correct := c.Correct()

@@ -40,6 +40,7 @@
 package netxport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -67,6 +68,7 @@ const (
 	dialAttempts        = 3
 	dialBackoff         = 5 * time.Millisecond
 	maxDialBackoff      = 250 * time.Millisecond
+	dialTimeout         = 10 * time.Second
 	defaultWriteTimeout = 10 * time.Second
 )
 
@@ -154,8 +156,16 @@ type Endpoint struct {
 	inbox chan inboundMsg
 	insts atomic.Pointer[map[uint32]*instConn]
 	done  chan struct{}
-	wg    sync.WaitGroup // accept loop + read loops
-	wwg   sync.WaitGroup // per-peer writer goroutines
+
+	// dialCtx is canceled by Close after the flush phase so a straggling
+	// connect aborts instead of running out its own timeout. Flush-phase
+	// dials themselves are bounded by dialTimeout, not the OS connect
+	// timeout — a blackholed peer address would otherwise stall Close for
+	// minutes.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	wg         sync.WaitGroup // accept loop + read loops
+	wwg        sync.WaitGroup // per-peer writer goroutines
 
 	// met is swapped atomically so SetMetrics races cleanly with the
 	// accept/read goroutines; the pointer is never nil.
@@ -199,6 +209,7 @@ func Listen(id msg.ID, addrs []string) (*Endpoint, error) {
 		inbox: make(chan inboundMsg, 1024),
 		done:  make(chan struct{}),
 	}
+	e.dialCtx, e.dialCancel = context.WithCancel(context.Background())
 	e.addrs[id] = ln.Addr().String()
 	e.met.Store(newNetMetrics(nil))
 	e.writeTimeout.Store(int64(defaultWriteTimeout))
@@ -362,6 +373,11 @@ func (e *Endpoint) sendDirect(l *peerLink, to msg.ID, inst uint32, m msg.Message
 	}
 	met := e.met.Load()
 	if l.conn == nil {
+		// Deliberate dial-under-lock: the direct path reproduces the
+		// pre-coalescing transport's serialized cost profile, only this
+		// peer's link is stalled, and the dial is deadline- and
+		// close-cancellable.
+		//lint:allow lockblock direct path serializes dial+write per peer by design; bounded by dialTimeout and Close cancel
 		conn, err := e.dial(to, l.fails)
 		if err != nil {
 			l.fails++
@@ -372,6 +388,10 @@ func (e *Endpoint) sendDirect(l *peerLink, to msg.ID, inst uint32, m msg.Message
 		e.track(conn)
 	}
 	l.scratch = appendFrame(l.scratch[:0], inst, m)
+	// Deliberate write-under-lock: one write per frame, serialized per peer
+	// (two paths must never interleave writes on one socket), bounded by the
+	// write deadline.
+	//lint:allow lockblock direct path serializes dial+write per peer by design; bounded by the write deadline
 	if err := e.write(l.conn, l.scratch); err != nil {
 		e.evictLocked(l, l.conn)
 		//lint:allow hotalloc write-failure path is cold; the frame is reported lost
@@ -556,9 +576,16 @@ func (e *Endpoint) dial(to msg.ID, fails int) (net.Conn, error) {
 			}
 		}
 		met.dials.Inc()
-		c, err = net.Dial("tcp", e.peerAddr(to))
+		// A bounded, cancellable connect: the deadline caps how long a
+		// blackholed address can hold this writer, and Close's cancel aborts
+		// the connect immediately so the flush phase never waits on it.
+		d := net.Dialer{Timeout: dialTimeout}
+		c, err = d.DialContext(e.dialCtx, "tcp", e.peerAddr(to))
 		if err == nil {
 			break
+		}
+		if e.dialCtx.Err() != nil {
+			return nil, transport.ErrClosed
 		}
 	}
 	if err != nil {
@@ -615,6 +642,9 @@ func (e *Endpoint) Close() error {
 			l.cond.Broadcast()
 		}
 		e.wwg.Wait()
+		// Writers are gone; abort any direct-path dial still in flight so a
+		// concurrent Send cannot outlive the endpoint.
+		e.dialCancel()
 		e.mu.Lock()
 		// Every outbound conn ever dialed is tracked in dialed (eviction
 		// closes but does not untrack, and double-close is harmless).

@@ -107,6 +107,22 @@ func ExceedsHalfNPlusK(count, n, k int) bool {
 	return 2*count > n+k
 }
 
+// BelowHalfNMinusK reports whether count is strictly less than (n-k)/2, the
+// lower edge of the Section 4.1 fail-stop absorbing region: with fewer than
+// (n-k)/2 ones, every phase view shows a zero majority and the chain
+// collapses to all-zeros.
+func BelowHalfNMinusK(count, n, k int) bool {
+	return 2*count < n-k
+}
+
+// BelowHalfNMinus3K reports whether count is strictly less than (n-3k)/2,
+// the lower edge of the Section 4.2 malicious absorbing region: even with
+// all k adversary votes added, no correct view can reach the (n+k)/2
+// threshold for ones.
+func BelowHalfNMinus3K(count, n, k int) bool {
+	return 2*count < n-3*k
+}
+
 // EchoAcceptCount returns the least integer strictly greater than (n+k)/2 --
 // the number of matching echoes at which a Figure-2 process accepts a value.
 func EchoAcceptCount(n, k int) int {

@@ -134,6 +134,9 @@ func (m *Machine) OnMessage(in msg.Message) []core.Outbound {
 		}
 	case msg.KindReady:
 		m.onReady(in)
+	case msg.KindState, msg.KindValue, msg.KindInitial, msg.KindBenOrReport,
+		msg.KindBenOrProposal, msg.KindGraph:
+		// Explicitly ignored: other protocols' wire kinds.
 	}
 	return m.out
 }
@@ -225,6 +228,9 @@ func (m *EchoMachine) OnMessage(in msg.Message) []core.Outbound {
 			m.delivered = true
 			m.value = accept.Value
 		}
+	case msg.KindState, msg.KindValue, msg.KindBenOrReport,
+		msg.KindBenOrProposal, msg.KindGraph, msg.KindGossip, msg.KindReady:
+		// Explicitly ignored: other protocols' wire kinds.
 	}
 	return m.out
 }
