@@ -132,12 +132,7 @@ func TestMaliciousPhaseBoundMonotone(t *testing.T) {
 }
 
 func TestProtocolStringsAndValidity(t *testing.T) {
-	all := []Protocol{
-		ProtocolFailStop, ProtocolMalicious, ProtocolMajority,
-		ProtocolBenOrCrash, ProtocolBenOrByzantine, ProtocolBivalence,
-		ProtocolBroadcast,
-	}
-	for _, p := range all {
+	for _, p := range Protocols() {
 		if !p.Valid() {
 			t.Errorf("%v invalid", p)
 		}
@@ -164,8 +159,20 @@ func TestNewMachinePublic(t *testing.T) {
 	if outs := m.Start(); len(outs) != 1 {
 		t.Errorf("start outs %d", len(outs))
 	}
-	if _, err := NewMachine(ProtocolBenOrCrash, MachineConfig{N: 5, K: 2}); err == nil {
-		t.Error("ben-or without coin accepted via NewMachine")
+	// Ben-Or machines build directly through NewMachine: the registry
+	// resolves the coin scheme and seeds the coin from CoinSeed.
+	if _, err := NewMachine(ProtocolBenOrCrash, MachineConfig{N: 5, K: 2, CoinSeed: 1}); err != nil {
+		t.Errorf("NewMachine(ProtocolBenOrCrash): %v", err)
+	}
+	if _, err := NewMachine(ProtocolBenOrShared, MachineConfig{N: 5, K: 2, CoinSeed: 1}); err != nil {
+		t.Errorf("NewMachine(ProtocolBenOrShared): %v", err)
+	}
+	// Coin overrides that contradict the protocol are rejected.
+	if _, err := NewMachine(ProtocolFailStop, MachineConfig{N: 5, K: 2, Coin: CoinShared}); err == nil {
+		t.Error("coin override accepted for a deterministic protocol")
+	}
+	if _, err := NewMachine(ProtocolBenOrCrash, MachineConfig{N: 5, K: 2, Coin: CoinNone}); err == nil {
+		t.Error("coinless override accepted for a randomized protocol")
 	}
 	bm, err := NewBenOrMachine(ProtocolBenOrCrash, MachineConfig{N: 5, K: 2, Self: 0, Input: V0}, 1)
 	if err != nil || bm == nil {

@@ -9,6 +9,7 @@ import (
 	"resilient/internal/livenet"
 	"resilient/internal/msg"
 	"resilient/internal/netxport"
+	"resilient/internal/proto"
 	"resilient/internal/transport"
 )
 
@@ -49,6 +50,7 @@ type ClusterOption func(*clusterOptions)
 type clusterOptions struct {
 	metrics *MetricsRegistry
 	tcp     TCPTuning
+	coin    CoinScheme
 }
 
 // WithClusterMetrics attaches a metrics registry to a live run: the
@@ -64,6 +66,12 @@ func WithTCPTuning(t TCPTuning) ClusterOption {
 	return func(o *clusterOptions) { o.tcp = t }
 }
 
+// WithCoinScheme overrides the coin scheme of randomized protocols for a
+// cluster run (see SimOptions.Coin).
+func WithCoinScheme(c CoinScheme) ClusterOption {
+	return func(o *clusterOptions) { o.coin = c }
+}
+
 func applyClusterOptions(opts []ClusterOption) clusterOptions {
 	var o clusterOptions
 	for _, opt := range opts {
@@ -72,24 +80,31 @@ func applyClusterOptions(opts []ClusterOption) clusterOptions {
 	return o
 }
 
-// buildMachines constructs one honest machine per process.
-func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64) ([]core.Machine, error) {
+// buildMachines constructs one honest machine per process. Local coins get
+// a distinct per-process seed derived from the run seed; the shared coin
+// gets the run seed itself, so every process flips the same sequence.
+func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64, override CoinScheme) ([]core.Machine, error) {
 	if len(inputs) != n {
 		return nil, fmt.Errorf("resilient: %d inputs for %d processes", len(inputs), n)
 	}
+	d, ok := proto.Lookup(p)
+	if !ok {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+	}
+	scheme, err := d.ResolveCoin(override)
+	if err != nil {
+		return nil, fmt.Errorf("resilient: %w", err)
+	}
 	machines := make([]core.Machine, n)
 	for i := 0; i < n; i++ {
-		cfg := MachineConfig{N: n, K: k, Self: ID(i), Input: inputs[i]}
-		var (
-			m   Machine
-			err error
-		)
-		switch p {
-		case ProtocolBenOrCrash, ProtocolBenOrByzantine:
-			m, err = NewBenOrMachine(p, cfg, seed^uint64(i+1)*0x9e3779b97f4a7c15)
-		default:
-			m, err = NewMachine(p, cfg)
+		cfg := MachineConfig{N: n, K: k, Self: ID(i), Input: inputs[i], Coin: override}
+		switch scheme {
+		case CoinLocal:
+			cfg.CoinSeed = seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		case CoinShared:
+			cfg.CoinSeed = seed
 		}
+		m, err := NewMachine(p, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("resilient: build p%d: %w", i, err)
 		}
@@ -102,7 +117,7 @@ func buildMachines(p Protocol, n, k int, inputs []Value, seed uint64) ([]core.Ma
 // in-memory message system, until every process decides or ctx expires.
 func RunCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
 	o := applyClusterOptions(opts)
-	machines, err := buildMachines(p, n, k, inputs, 1)
+	machines, err := buildMachines(p, n, k, inputs, 1, o.coin)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +180,7 @@ func tcpMeshConns(n int, reg *MetricsRegistry, tune TCPTuning) ([]transport.Conn
 // deployment-shaped demonstration; for experiments use Simulate.
 func RunTCPCluster(ctx context.Context, p Protocol, n, k int, inputs []Value, opts ...ClusterOption) (*ClusterReport, error) {
 	o := applyClusterOptions(opts)
-	machines, err := buildMachines(p, n, k, inputs, 1)
+	machines, err := buildMachines(p, n, k, inputs, 1, o.coin)
 	if err != nil {
 		return nil, err
 	}

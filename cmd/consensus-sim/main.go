@@ -14,6 +14,9 @@
 //	consensus-sim -protocol failstop -n 7 -k 3 -engine mem -policy drop:0.1,uniform:0.1:1
 //	consensus-sim -protocol malicious -n 1000 -k 100 -broadcast sample
 //	consensus-sim -protocol broadcast -n 10000 -k 1000 -broadcast sample -eps 1e-3
+//	consensus-sim -protocol benor-shared -n 21 -k 10 -trials 100
+//	consensus-sim -protocol benor-crash -coin shared -n 7 -k 3 -seed 2
+//	consensus-sim -list-protocols
 //	consensus-sim -engine tcp -saturate -n 13 -messages 500000
 //	consensus-sim -log -engine tcp -n 7 -ops 4096 -batch 16 -pipeline 4
 //	consensus-sim -log -engine tcp -rate 20000 -clients 256 -batch 32 -logcrash "2:5"
@@ -42,10 +45,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"resilient"
@@ -64,7 +69,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
-		protoName   = fs.String("protocol", "failstop", "protocol: failstop | malicious | majority | benor-crash | benor-byzantine | bivalence | broadcast")
+		protoName   = fs.String("protocol", "failstop", "protocol: "+strings.Join(protocolNames(), " | "))
+		listProtos  = fs.Bool("list-protocols", false, "print the protocol registry (name, aliases, model, bound, coin) and exit")
+		coinName    = fs.String("coin", "auto", "coin scheme for randomized protocols: auto | local | shared")
 		n           = fs.Int("n", 7, "number of processes")
 		k           = fs.Int("k", -1, "fault parameter (default: the protocol's maximum for n)")
 		inputsStr   = fs.String("inputs", "", "initial values as a 0/1 string of length n (default: alternating)")
@@ -101,11 +108,25 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listProtos {
+		printProtocolTable(os.Stdout, *n)
+		return nil
+	}
 
-	proto, err := parseProtocol(*protoName)
+	proto, err := resilient.ParseProtocol(*protoName)
 	if err != nil {
 		return err
 	}
+	coinScheme, err := resilient.ParseCoinScheme(*coinName)
+	if err != nil {
+		return err
+	}
+	protocolSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "protocol" {
+			protocolSet = true
+		}
+	})
 	userK := *k
 	if *k < 0 {
 		*k = proto.MaxFaults(*n)
@@ -162,9 +183,13 @@ func run(args []string) error {
 		if *saturate {
 			return errors.New("-log and -saturate are mutually exclusive")
 		}
-		logK := 0 // 0 = the Figure-2 bound for n
+		logK := 0 // 0 = the slot protocol's bound for n
 		if userK >= 0 {
 			logK = userK
+		}
+		logProto := resilient.Protocol(0) // 0 = the log's default (Figure 2)
+		if protocolSet {
+			logProto = proto
 		}
 		lc, err := parseLogCrashes(*logCrashes)
 		if err != nil {
@@ -175,6 +200,8 @@ func run(args []string) error {
 		rep, runErr := resilient.RunLogWorkload(ctx, resilient.LogWorkloadOptions{
 			Log: resilient.LogOptions{
 				Engine:   engine,
+				Protocol: logProto,
+				Coin:     coinScheme,
 				N:        *n,
 				K:        logK,
 				Seed:     *seed,
@@ -258,6 +285,7 @@ func run(args []string) error {
 			TCP:         tcp,
 			Broadcast:   scheme,
 			Eps:         *epsFlag,
+			Coin:        coinScheme,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})
@@ -285,6 +313,7 @@ func run(args []string) error {
 			Policy:      pol,
 			Broadcast:   scheme,
 			Eps:         *epsFlag,
+			Coin:        coinScheme,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		}
@@ -324,6 +353,7 @@ func run(args []string) error {
 			Policy:      pol,
 			Broadcast:   scheme,
 			Eps:         *epsFlag,
+			Coin:        coinScheme,
 			Unsafe:      *unsafe,
 			Metrics:     reg,
 		})
@@ -366,25 +396,33 @@ func run(args []string) error {
 	return writeMetrics()
 }
 
-func parseProtocol(name string) (resilient.Protocol, error) {
-	switch strings.ToLower(name) {
-	case "failstop", "fig1":
-		return resilient.ProtocolFailStop, nil
-	case "malicious", "fig2":
-		return resilient.ProtocolMalicious, nil
-	case "majority":
-		return resilient.ProtocolMajority, nil
-	case "benor-crash":
-		return resilient.ProtocolBenOrCrash, nil
-	case "benor-byzantine":
-		return resilient.ProtocolBenOrByzantine, nil
-	case "bivalence":
-		return resilient.ProtocolBivalence, nil
-	case "broadcast":
-		return resilient.ProtocolBroadcast, nil
-	default:
-		return 0, fmt.Errorf("unknown protocol %q", name)
+// protocolNames lists every registered protocol's primary spelling for the
+// -protocol usage string.
+func protocolNames() []string {
+	var names []string
+	for _, p := range resilient.Protocols() {
+		if as := p.Aliases(); len(as) > 0 {
+			names = append(names, as[0])
+		} else {
+			names = append(names, p.String())
+		}
 	}
+	return names
+}
+
+// printProtocolTable renders the registry for -list-protocols.
+func printProtocolTable(w io.Writer, n int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tALIASES\tMODEL\tBOUND\tMAX K (n="+strconv.Itoa(n)+")\tCOIN")
+	for _, p := range resilient.Protocols() {
+		coin := "-"
+		if p.NeedsCoin() {
+			coin = p.DefaultCoin().String()
+		}
+		fmt.Fprintf(tw, "%v\t%s\t%v\t%s\t%d\t%s\n",
+			p, strings.Join(p.Aliases(), ", "), p.Model(), p.Bound(), p.MaxFaults(n), coin)
+	}
+	tw.Flush()
 }
 
 func parseScheme(name string) (resilient.BroadcastScheme, error) {
@@ -411,8 +449,7 @@ const (
 // validateScale cross-checks n, the protocol, and the broadcast scheme
 // before any engine starts.
 func validateScale(proto resilient.Protocol, scheme resilient.BroadcastScheme, n int, eps float64) error {
-	echoStage := proto == resilient.ProtocolMalicious || proto == resilient.ProtocolBroadcast
-	if !echoStage {
+	if !proto.NeedsDirectory() {
 		if scheme != resilient.SchemeEcho {
 			return fmt.Errorf("-broadcast=%v applies to the malicious and broadcast protocols only", scheme)
 		}

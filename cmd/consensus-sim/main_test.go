@@ -18,17 +18,34 @@ func TestParseProtocol(t *testing.T) {
 		"majority":        resilient.ProtocolMajority,
 		"benor-crash":     resilient.ProtocolBenOrCrash,
 		"benor-byzantine": resilient.ProtocolBenOrByzantine,
+		"benor-shared":    resilient.ProtocolBenOrShared,
 		"bivalence":       resilient.ProtocolBivalence,
 		"broadcast":       resilient.ProtocolBroadcast,
 	}
 	for name, want := range cases {
-		got, err := parseProtocol(name)
+		got, err := resilient.ParseProtocol(name)
 		if err != nil || got != want {
-			t.Errorf("parseProtocol(%q) = %v, %v; want %v", name, got, err, want)
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", name, got, err, want)
 		}
 	}
-	if _, err := parseProtocol("paxos"); err == nil {
+	if _, err := resilient.ParseProtocol("paxos"); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestListProtocolsTable(t *testing.T) {
+	var buf strings.Builder
+	printProtocolTable(&buf, 7)
+	out := buf.String()
+	for _, p := range resilient.Protocols() {
+		if !strings.Contains(out, p.String()) {
+			t.Errorf("-list-protocols output missing %v:\n%s", p, out)
+		}
+	}
+	for _, want := range []string{"NAME", "COIN", "shared", "(n-1)/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-protocols output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -141,6 +141,9 @@ type Scenario struct {
 	// Eps is the sampled scheme's per-acceptance error bound
 	// (0 = sample.DefaultEps).
 	Eps float64
+	// Coin overrides the coin scheme of randomized protocols (see
+	// SimOptions.Coin); all engines honour it.
+	Coin CoinScheme
 	// Unsafe skips the resilience-bound validation of (n, k).
 	Unsafe bool
 	// Metrics, when non-nil, receives run accounting: "runtime." counters
@@ -194,6 +197,7 @@ func RunScenario(ctx context.Context, engine Engine, sc Scenario) (*Outcome, err
 			Adversaries: sc.Adversaries,
 			Broadcast:   sc.Broadcast,
 			Eps:         sc.Eps,
+			Coin:        sc.Coin,
 			Unsafe:      sc.Unsafe,
 			Metrics:     sc.Metrics,
 		})
@@ -313,6 +317,7 @@ func liveMachines(sc Scenario) ([]core.Machine, error) {
 		Adversaries: sc.Adversaries,
 		Broadcast:   sc.Broadcast,
 		Eps:         sc.Eps,
+		Coin:        sc.Coin,
 		Unsafe:      sc.Unsafe,
 	}
 	dir, err := sampleDirectory(sc.Protocol, sc.N, sc.K, simOpts)

@@ -2,11 +2,13 @@ package resilient
 
 import (
 	"context"
+	"fmt"
 	"slices"
 	"testing"
 	"time"
 
 	"resilient/internal/adversary"
+	"resilient/internal/proto"
 )
 
 func unanimous(n int, v Value) []Value {
@@ -89,6 +91,58 @@ func TestEngineParityMalicious(t *testing.T) {
 			6: {Process: 6, Phase: 0, AfterSends: 0},
 		},
 	}, V1, 5, []ID{6})
+}
+
+// TestEngineParityBenOrShared runs the shared-coin Ben-Or variant on all
+// three engines. The shared coin derives flips from (run seed, phase)
+// alone, so one read-only source serves every process concurrently -- the
+// live engines exercise that concurrency for real.
+func TestEngineParityBenOrShared(t *testing.T) {
+	runParity(t, Scenario{
+		Protocol: ProtocolBenOrShared,
+		N:        7, K: 3,
+		Inputs: unanimous(7, V1),
+		Seed:   7,
+	}, V1, 7, nil)
+}
+
+// TestEngineParityRegistry runs every registered protocol through the
+// simulator and the in-memory engine at its own resilience bound,
+// fault-free with unanimous inputs: all processes decide, they agree, and
+// -- unless the protocol's checker skips validity -- the decision is the
+// unanimous input. Directory-capable protocols run in their full-mesh
+// fallback (no directory wired). Registering a protocol automatically
+// enrolls it here.
+func TestEngineParityRegistry(t *testing.T) {
+	for _, p := range Protocols() {
+		d, ok := proto.Lookup(p)
+		if !ok {
+			t.Fatalf("Protocols() returned unregistered %v", p)
+		}
+		sc := Scenario{
+			Protocol: p,
+			N:        7, K: p.MaxFaults(7),
+			Inputs: unanimous(7, V1),
+			Seed:   9,
+		}
+		for _, engine := range []Engine{EngineSim, EngineMem} {
+			t.Run(fmt.Sprintf("%v/%v", p, engine), func(t *testing.T) {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				out, err := RunScenario(ctx, engine, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.AllDecided || !out.Agreement {
+					t.Fatalf("allDecided=%v agreement=%v decisions=%+v",
+						out.AllDecided, out.Agreement, out.Decisions)
+				}
+				if !d.SkipValidity && out.Value != V1 {
+					t.Fatalf("decided %d, validity demands the unanimous input %d", out.Value, V1)
+				}
+			})
+		}
+	}
 }
 
 // TestTCPCrashAtPhasePlan drives a full crash-at-phase plan over real

@@ -35,6 +35,10 @@ func goldenCases() []goldenCase {
 		{name: "benor-crash", protocol: ProtocolBenOrCrash, n: 7, k: 3},
 		{name: "benor-byz", protocol: ProtocolBenOrByzantine, n: 7, k: 1},
 		{name: "bivalence", protocol: ProtocolBivalence, n: 7, k: 2},
+		{name: "broadcast", protocol: ProtocolBroadcast, n: 7, k: 2},
+		// The shared coin derives flips from (run seed, phase) only, so the
+		// pin also locks the common-coin derivation.
+		{name: "benor-shared", protocol: ProtocolBenOrShared, n: 7, k: 3},
 		// Mid-broadcast deaths make the delivery outcome depend on the
 		// broadcast recipient permutation, pinning the shuffle rewrite.
 		{name: "failstop-crashes", protocol: ProtocolFailStop, n: 9, k: 4, opts: SimOptions{
@@ -84,6 +88,12 @@ var goldenResults = map[string][4]string{
 	"bivalence/seed=1":           {"0:1 1:1 2:1 3:1 4:1 5:1 6:1", "343", "343", "0x1.87842f77f6019p+02"},
 	"bivalence/seed=2":           {"0:1 1:1 2:1 3:1 4:1 5:1 6:1", "343", "343", "0x1.871ceb67767c1p+02"},
 	"bivalence/seed=3":           {"0:1 1:1 2:1 3:1 4:1 5:1 6:1", "343", "342", "0x1.86f3ac9039fd3p+02"},
+	"broadcast/seed=1":           {"0:0 1:0 2:0 3:0 4:0 5:0 6:0", "56", "49", "0x1.6d9abaa34ddfp+00"},
+	"broadcast/seed=2":           {"0:0 1:0 2:0 3:0 4:0 5:0 6:0", "56", "46", "0x1.5c58b06e61526p+00"},
+	"broadcast/seed=3":           {"0:0 1:0 2:0 3:0 4:0 5:0 6:0", "56", "48", "0x1.5475e8b00b0dbp+00"},
+	"benor-shared/seed=1":        {"0:1 1:1 2:1 3:1 4:1 5:1 6:1", "245", "199", "0x1.31e522016ff1cp+01"},
+	"benor-shared/seed=2":        {"0:0 1:0 2:0 3:0 4:0 5:0 6:0", "245", "193", "0x1.2d97259153f9p+01"},
+	"benor-shared/seed=3":        {"0:1 1:1 2:1 3:1 4:1 5:1 6:1", "245", "186", "0x1.3e29c6f77c032p+01"},
 	"failstop-crashes/seed=1":    {"0:0 2:0 3:0 5:0 6:0 7:0 8:0", "395", "257", "0x1.4cf6cec977f58p+01"},
 	"failstop-crashes/seed=2":    {"0:0 2:0 3:0 5:0 6:0 7:0 8:0", "395", "269", "0x1.420f91e5f0e4ap+01"},
 	"failstop-crashes/seed=3":    {"0:0 2:0 3:0 5:0 6:0 7:0 8:0", "395", "276", "0x1.5dd671292d12cp+01"},
@@ -116,6 +126,20 @@ func runGoldenCase(t testing.TB, c goldenCase) (decisions string, sent, events i
 	}
 	return decisions, res.MessagesSent, res.Events,
 		strconv.FormatFloat(res.SimTime, 'x', -1, 64)
+}
+
+// TestGoldenCoversRegistry fails when a registered protocol has no golden
+// case, so adding a protocol to the zoo forces pinning its determinism.
+func TestGoldenCoversRegistry(t *testing.T) {
+	pinned := map[Protocol]bool{}
+	for _, c := range goldenCases() {
+		pinned[c.protocol] = true
+	}
+	for _, p := range Protocols() {
+		if !pinned[p] {
+			t.Errorf("registered protocol %v has no golden case; add one to goldenCases()", p)
+		}
+	}
 }
 
 // TestGoldenSeedDeterminism locks the engine to the exact executions the

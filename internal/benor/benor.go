@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"resilient/internal/coin"
 	"resilient/internal/core"
 	"resilient/internal/msg"
 	"resilient/internal/quorum"
@@ -76,7 +77,7 @@ type pendKey struct {
 type Machine struct {
 	cfg  core.Config
 	mode Mode
-	rng  *rand.Rand
+	coin coin.Source
 	sink trace.Sink
 
 	value msg.Value
@@ -102,11 +103,24 @@ var (
 	_ core.ValueReporter = (*Machine)(nil)
 )
 
-// New returns a Ben-Or machine. rng drives the local coin and must not be
-// shared with other machines. sink may be nil.
+// New returns a Ben-Or machine with the classic process-local coin. rng
+// drives the coin and must not be shared with other machines. sink may be
+// nil. It is NewWithCoin over coin.NewLocal(rng), which draws the exact
+// variates the pre-seam machine drew directly from rng.
 func New(cfg core.Config, mode Mode, rng *rand.Rand, sink trace.Sink) (*Machine, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("benor: nil rng (the protocol's coin needs one)")
+	}
+	return NewWithCoin(cfg, mode, coin.NewLocal(rng), sink)
+}
+
+// NewWithCoin returns a Ben-Or machine drawing its free choices from src:
+// a per-process coin.Local reproduces [BenO83], a run-wide coin.Shared
+// gives the common-coin variant with constant expected phases. src must
+// not be nil; sink may be nil.
+func NewWithCoin(cfg core.Config, mode Mode, src coin.Source, sink trace.Sink) (*Machine, error) {
+	if src == nil {
+		return nil, fmt.Errorf("benor: nil coin source (the protocol's free choice needs one)")
 	}
 	switch mode {
 	case Crash:
@@ -129,7 +143,7 @@ func New(cfg core.Config, mode Mode, rng *rand.Rand, sink trace.Sink) (*Machine,
 	return &Machine{
 		cfg:        cfg,
 		mode:       mode,
-		rng:        rng,
+		coin:       src,
 		sink:       sink,
 		value:      cfg.Input,
 		step:       1,
@@ -318,7 +332,7 @@ func (m *Machine) endStep2() []core.Outbound {
 	case adoptSet:
 		m.value = adoptVal
 	default:
-		m.value = msg.Value(m.rng.IntN(2)) // the free choice
+		m.value = m.coin.Flip(m.round) // the free choice
 	}
 
 	if m.decided {

@@ -1,0 +1,49 @@
+package benor
+
+import (
+	"resilient/internal/coin"
+	"resilient/internal/core"
+	"resilient/internal/proto"
+	"resilient/internal/quorum"
+)
+
+// spawnMode builds the registry spawner for one Ben-Or mode; the coin
+// source (local or shared per the descriptor) arrives through the deps.
+func spawnMode(mode Mode) func(core.Config, proto.Deps) (core.Machine, error) {
+	return func(cfg core.Config, deps proto.Deps) (core.Machine, error) {
+		return NewWithCoin(cfg, mode, deps.Coin, deps.Sink)
+	}
+}
+
+func init() {
+	proto.Register(proto.Descriptor{
+		ID:      proto.BenOrCrash,
+		Name:    "benor-crash",
+		Aliases: []string{"benor-crash"},
+		Model:   quorum.FailStop,
+		Bound:   "(n-1)/2",
+		Coin:    coin.SchemeLocal,
+		Spawn:   spawnMode(Crash),
+	})
+	proto.Register(proto.Descriptor{
+		ID:      proto.BenOrByzantine,
+		Name:    "benor-byzantine",
+		Aliases: []string{"benor-byzantine"},
+		Model:   quorum.Malicious,
+		Bound:   "(n-1)/5",
+		// Ben-Or's malicious variant needs fast propagation, 5k < n
+		// (checked again, with the better error, by NewWithCoin).
+		MaxFaults: func(n int) int { return (n - 1) / 5 },
+		Coin:      coin.SchemeLocal,
+		Spawn:     spawnMode(Byzantine),
+	})
+	proto.Register(proto.Descriptor{
+		ID:      proto.BenOrShared,
+		Name:    "benor-shared",
+		Aliases: []string{"benor-shared"},
+		Model:   quorum.FailStop,
+		Bound:   "(n-1)/2",
+		Coin:    coin.SchemeShared,
+		Spawn:   spawnMode(Crash),
+	})
+}

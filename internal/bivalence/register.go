@@ -1,0 +1,26 @@
+package bivalence
+
+import (
+	"resilient/internal/coin"
+	"resilient/internal/core"
+	"resilient/internal/proto"
+	"resilient/internal/quorum"
+)
+
+func init() {
+	proto.Register(proto.Descriptor{
+		ID:        proto.Bivalence,
+		Name:      "bivalence(s5)",
+		Aliases:   []string{"bivalence"},
+		Model:     quorum.FailStop,
+		Bound:     "n-1",
+		MaxFaults: func(n int) int { return n - 1 },
+		Coin:      coin.SchemeNone,
+		// The Section 5 protocol decides an agreed bivalent function of
+		// the inputs (their parity), not a majority-respecting value.
+		SkipValidity: true,
+		Spawn: func(cfg core.Config, deps proto.Deps) (core.Machine, error) {
+			return New(cfg, deps.Sink)
+		},
+	})
+}

@@ -1,0 +1,132 @@
+// Package coin is the randomness seam of the randomized consensus
+// protocols: a Source yields one binary coin value per protocol phase, and
+// the two implementations realize the two places randomness can live.
+//
+// Local is the per-process coin of [BenO83]: independent fair flips drawn
+// from a process-private generator, giving exponential expected phases in
+// the worst case (disagreeing processes flip independently and keep
+// missing each other). Shared is a deterministic common coin in the sense
+// of Aspnes' survey (cs/0209014): every correct process computes the same
+// value for a phase from the run seed alone, so with probability 1/2 per
+// round the common flip matches any value the adversary forced a majority
+// toward -- constant expected phases.
+//
+// The package is deliberately tiny and allocation-free on the Flip path:
+// Flip sits inside every randomized machine's per-phase step, and
+// consensuslint tracks it as a hot interface.
+package coin
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"resilient/internal/msg"
+)
+
+// Source yields the coin value for a protocol phase. Implementations must
+// be deterministic functions of their construction parameters, the phase,
+// and (for stateful local coins) the draw sequence; machines call Flip at
+// most once per phase, from a single goroutine.
+type Source interface {
+	Flip(phase msg.Phase) msg.Value
+}
+
+// Local is the process-local coin of [BenO83]: one independent fair flip
+// per call, drawn from a process-private generator. Flip draws exactly one
+// IntN(2) variate and ignores the phase, which makes a Local wrapping a
+// generator draw-identical to calling rng.IntN(2) directly at the same
+// points -- the property that keeps the pre-registry golden pins byte-exact
+// across the benor refactor.
+type Local struct {
+	rng *rand.Rand
+}
+
+// NewLocal wraps a process-private generator as a local coin. The generator
+// must not be shared with any other machine.
+func NewLocal(rng *rand.Rand) *Local { return &Local{rng: rng} }
+
+// Flip implements Source: one fair draw, phase-independent.
+func (l *Local) Flip(msg.Phase) msg.Value { return msg.Value(l.rng.IntN(2)) }
+
+// Shared is a deterministic common coin derived from (runSeed, phase):
+// every process constructed with the same seed computes the same value for
+// the same phase, with no communication. It is stateless -- processes may
+// query phases in any order, any number of times -- which is what lets
+// machines at different rounds still agree on every flip.
+//
+// A cryptographic common coin would derive the same interface from
+// threshold signatures; the seam is the point, not the implementation.
+type Shared struct {
+	seed uint64
+}
+
+// NewShared builds the common coin for one run. Every correct process of
+// the run must receive the same seed (the run seed).
+func NewShared(seed uint64) *Shared { return &Shared{seed: seed} }
+
+// Flip implements Source: the low bit of a splitmix64 finalizer over the
+// (seed, phase) pair.
+func (s *Shared) Flip(phase msg.Phase) msg.Value {
+	x := s.seed + (uint64(uint32(phase))+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return msg.Value(x & 1)
+}
+
+// Scheme names how a run sources coin randomness for a protocol.
+type Scheme int
+
+const (
+	// SchemeAuto selects the protocol's registered default scheme.
+	SchemeAuto Scheme = iota
+	// SchemeNone means the protocol draws no coin (the deterministic
+	// protocols).
+	SchemeNone
+	// SchemeLocal gives every process an independent per-process coin.
+	SchemeLocal
+	// SchemeShared gives every process the same deterministic common coin,
+	// derived from the run seed.
+	SchemeShared
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAuto:
+		return "auto"
+	case SchemeNone:
+		return "none"
+	case SchemeLocal:
+		return "local"
+	case SchemeShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names a scheme.
+func (s Scheme) Valid() bool {
+	return s >= SchemeAuto && s <= SchemeShared
+}
+
+// ParseScheme resolves a scheme name: auto | none | local | shared (the
+// empty string is auto).
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "auto", "":
+		return SchemeAuto, nil
+	case "none":
+		return SchemeNone, nil
+	case "local":
+		return SchemeLocal, nil
+	case "shared":
+		return SchemeShared, nil
+	default:
+		return 0, fmt.Errorf("coin: unknown scheme %q (want auto | none | local | shared)", name)
+	}
+}

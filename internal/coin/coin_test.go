@@ -1,0 +1,109 @@
+package coin
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"resilient/internal/msg"
+)
+
+// TestLocalDrawIdentity pins the property the registry refactor's golden
+// stability rests on: a Local wrapping a generator draws exactly the
+// sequence rng.IntN(2) would have drawn at the same call sites.
+func TestLocalDrawIdentity(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		raw := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		wrapped := NewLocal(rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)))
+		for i := 0; i < 1000; i++ {
+			want := msg.Value(raw.IntN(2))
+			got := wrapped.Flip(msg.Phase(i))
+			if got != want {
+				t.Fatalf("seed %d draw %d: Flip = %d, rng.IntN(2) = %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSharedCommon pins the common-coin contract: every instance built from
+// the same seed agrees on every phase, independent of query order.
+func TestSharedCommon(t *testing.T) {
+	a, b := NewShared(7), NewShared(7)
+	for ph := msg.Phase(200); ph >= 0; ph-- { // b queries in reverse order
+		if a.Flip(ph) != b.Flip(ph) {
+			t.Fatalf("phase %d: instances of the same seed disagree", ph)
+		}
+	}
+	// Repeated queries are stable.
+	if a.Flip(3) != a.Flip(3) {
+		t.Fatal("repeated Flip of the same phase changed value")
+	}
+}
+
+// TestSharedVariation checks the coin is not degenerate: over many phases
+// it lands near fair, and different seeds produce different streams.
+func TestSharedVariation(t *testing.T) {
+	const phases = 10000
+	s := NewShared(1)
+	ones := 0
+	for ph := 0; ph < phases; ph++ {
+		v := s.Flip(msg.Phase(ph))
+		if !v.Valid() {
+			t.Fatalf("phase %d: invalid value %d", ph, v)
+		}
+		if v == msg.V1 {
+			ones++
+		}
+	}
+	if ones < 4500 || ones > 5500 {
+		t.Fatalf("shared coin heavily biased: %d/%d ones", ones, phases)
+	}
+	other := NewShared(2)
+	same := 0
+	for ph := 0; ph < phases; ph++ {
+		if s.Flip(msg.Phase(ph)) == other.Flip(msg.Phase(ph)) {
+			same++
+		}
+	}
+	if same == phases {
+		t.Fatal("seeds 1 and 2 produced identical streams")
+	}
+}
+
+func TestSchemeStringParse(t *testing.T) {
+	for _, s := range []Scheme{SchemeAuto, SchemeNone, SchemeLocal, SchemeShared} {
+		if !s.Valid() {
+			t.Errorf("%v not valid", s)
+		}
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if got, err := ParseScheme(""); err != nil || got != SchemeAuto {
+		t.Errorf("ParseScheme(\"\") = %v, %v; want auto", got, err)
+	}
+	if _, err := ParseScheme("quantum"); err == nil {
+		t.Error("ParseScheme accepted an unknown scheme")
+	}
+	if Scheme(99).Valid() {
+		t.Error("Scheme(99) claims valid")
+	}
+}
+
+// FuzzShared fuzzes the common coin over arbitrary (seed, phase) pairs:
+// values are always binary and two instances of the same seed always agree.
+func FuzzShared(f *testing.F) {
+	f.Add(uint64(0), int32(0))
+	f.Add(uint64(1), int32(-1)) // the wildcard phase
+	f.Add(^uint64(0), int32(1<<30))
+	f.Fuzz(func(t *testing.T, seed uint64, phase int32) {
+		a, b := NewShared(seed), NewShared(seed)
+		v := a.Flip(msg.Phase(phase))
+		if !v.Valid() {
+			t.Fatalf("invalid value %d", v)
+		}
+		if b.Flip(msg.Phase(phase)) != v {
+			t.Fatal("same-seed instances disagree")
+		}
+	})
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function per
-// experiment in the DESIGN.md index (E1-E12), each regenerating a table of
+// experiment in the DESIGN.md index (E1-E13), each regenerating a table of
 // the paper's quantitative claims -- the Section 4 absorption-time analysis,
 // the resilience theorems, the embedded claims of Sections 2.3/3.3/5, and
 // the [BenO83] comparison.
@@ -36,6 +36,11 @@ type Params struct {
 	// results are merged in trial order, so the tables are byte-identical
 	// for every worker count.
 	Workers int
+	// WallTimes adds a measured wall-clock column to experiments that
+	// report one (E13). Wall times vary run to run, so the flag defaults to
+	// false, keeping default tables byte-identical across runs and worker
+	// counts; cmd/experiments turns it on.
+	WallTimes bool
 }
 
 // DefaultParams returns the full-scale parameters used to produce
@@ -187,6 +192,7 @@ func All() []Experiment {
 		{ID: "E10", Name: "weak bivalence, initially-dead faults (S5)", Run: E10},
 		{ID: "E11", Name: "ablations: scheduler sensitivity, decision split", Run: E11},
 		{ID: "E12", Name: "authentication ablation: impersonation (S3.1)", Run: E12},
+		{ID: "E13", Name: "cross-protocol comparison over the registry (S6)", Run: E13},
 	}
 }
 

@@ -1,0 +1,26 @@
+package failstop
+
+import (
+	"resilient/internal/coin"
+	"resilient/internal/core"
+	"resilient/internal/proto"
+	"resilient/internal/quorum"
+)
+
+func init() {
+	proto.Register(proto.Descriptor{
+		ID:        proto.FailStop,
+		Name:      "failstop(fig1)",
+		Aliases:   []string{"failstop", "fig1"},
+		Model:     quorum.FailStop,
+		Bound:     "(n-1)/2",
+		Coin:      coin.SchemeNone,
+		CheckName: "failstop",
+		Spawn: func(cfg core.Config, deps proto.Deps) (core.Machine, error) {
+			if deps.Unsafe {
+				return NewUnsafe(cfg, deps.Sink), nil
+			}
+			return New(cfg, deps.Sink)
+		},
+	})
+}

@@ -143,6 +143,11 @@ func ProjectConfig(dir string) Config {
 		mod + "/internal/sched",
 		mod + "/internal/policy",
 		mod + "/internal/sample",
+		// The registry and the coin sources sit under every replayable run:
+		// a wall-clock read or map iteration there would leak into all of
+		// them.
+		mod + "/internal/proto",
+		mod + "/internal/coin",
 	}
 	return Config{
 		Dir:               dir,
@@ -156,6 +161,10 @@ func ProjectConfig(dir string) Config {
 			mod + "/internal/core.Machine",
 			// Link policies run once per message send on every engine.
 			mod + "/internal/policy.LinkPolicy",
+			// Coin sources flip once per randomized-protocol coin round on
+			// every machine; the shared source is also read concurrently
+			// from live-engine goroutines, so it must stay allocation-free.
+			mod + "/internal/coin.Source",
 		},
 		HotFuncs: []string{
 			// The discrete-event dispatch loop: deliver/dispatch/enqueue and

@@ -1,0 +1,28 @@
+package majority
+
+import (
+	"resilient/internal/coin"
+	"resilient/internal/core"
+	"resilient/internal/proto"
+	"resilient/internal/quorum"
+)
+
+func init() {
+	proto.Register(proto.Descriptor{
+		ID:      proto.Majority,
+		Name:    "majority(s4.1)",
+		Aliases: []string{"majority"},
+		Model:   quorum.FailStop,
+		Bound:   "(n-1)/3",
+		// The Section 4.1 variant needs n-k > (n+k)/2 to reach its
+		// decision threshold: floor((n-1)/3), as the paper states.
+		MaxFaults: func(n int) int { return quorum.MaxFaults(n, quorum.Malicious) },
+		Coin:      coin.SchemeNone,
+		Spawn: func(cfg core.Config, deps proto.Deps) (core.Machine, error) {
+			if deps.Unsafe {
+				return NewUnsafe(cfg, deps.Sink), nil
+			}
+			return New(cfg, deps.Sink)
+		},
+	})
+}

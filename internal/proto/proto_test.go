@@ -1,0 +1,115 @@
+package proto_test
+
+import (
+	"strings"
+	"testing"
+
+	"resilient/internal/coin"
+	"resilient/internal/core"
+	"resilient/internal/proto"
+	"resilient/internal/quorum"
+
+	// Registration happens in the protocol packages' init functions; the
+	// blank imports populate the registry under test.
+	_ "resilient/internal/benor"
+	_ "resilient/internal/bivalence"
+	_ "resilient/internal/failstop"
+	_ "resilient/internal/majority"
+	_ "resilient/internal/malicious"
+	_ "resilient/internal/sample"
+)
+
+// TestAllSortedAndComplete pins the registry's deterministic iteration
+// order and the zoo's current size.
+func TestAllSortedAndComplete(t *testing.T) {
+	all := proto.All()
+	if len(all) != 8 {
+		t.Fatalf("%d protocols registered, want 8", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("All() not strictly ID-sorted at %d: %v then %v", i, all[i-1].ID, all[i].ID)
+		}
+	}
+	if len(proto.Names()) != len(all) {
+		t.Fatalf("Names() has %d entries for %d descriptors", len(proto.Names()), len(all))
+	}
+}
+
+// TestParseRoundTrips: every canonical name and alias parses back to its
+// descriptor's ID, case-insensitively and whitespace-tolerantly.
+func TestParseRoundTrips(t *testing.T) {
+	for _, d := range proto.All() {
+		spellings := append([]string{d.Name, strings.ToUpper(d.Name), " " + d.Name + " "}, d.Aliases...)
+		for _, s := range spellings {
+			got, err := proto.Parse(s)
+			if err != nil || got != d.ID {
+				t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, d.ID)
+			}
+		}
+	}
+	if _, err := proto.Parse("paxos"); err == nil || !strings.Contains(err.Error(), "failstop") {
+		t.Errorf("Parse(unknown) error should list the registered names, got %v", err)
+	}
+}
+
+// TestIDMethodsUnregistered: ID methods degrade gracefully for ids outside
+// the registry instead of panicking.
+func TestIDMethodsUnregistered(t *testing.T) {
+	p := proto.ID(99)
+	if p.Valid() {
+		t.Error("unregistered id reported valid")
+	}
+	if got := p.String(); got != "Protocol(99)" {
+		t.Errorf("String() = %q", got)
+	}
+	if p.MaxFaults(7) != 0 || p.NeedsCoin() || p.NeedsDirectory() || p.Bound() != "" {
+		t.Error("unregistered id leaked non-zero protocol properties")
+	}
+}
+
+// TestResolveCoin pins the override matrix: auto keeps the default, a coin
+// for a deterministic protocol and scheme none for a randomized one are
+// both contradictions.
+func TestResolveCoin(t *testing.T) {
+	deterministic := proto.Descriptor{Name: "det", Coin: coin.SchemeNone}
+	randomized := proto.Descriptor{Name: "rnd", Coin: coin.SchemeLocal}
+	if s, err := deterministic.ResolveCoin(coin.SchemeAuto); err != nil || s != coin.SchemeNone {
+		t.Errorf("det+auto = %v, %v", s, err)
+	}
+	if s, err := randomized.ResolveCoin(coin.SchemeAuto); err != nil || s != coin.SchemeLocal {
+		t.Errorf("rnd+auto = %v, %v", s, err)
+	}
+	if s, err := randomized.ResolveCoin(coin.SchemeShared); err != nil || s != coin.SchemeShared {
+		t.Errorf("rnd+shared = %v, %v", s, err)
+	}
+	if _, err := deterministic.ResolveCoin(coin.SchemeShared); err == nil {
+		t.Error("coin override accepted for a deterministic protocol")
+	}
+	if _, err := randomized.ResolveCoin(coin.SchemeNone); err == nil {
+		t.Error("scheme none accepted for a randomized protocol")
+	}
+	if _, err := randomized.ResolveCoin(coin.Scheme(42)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestRegisterRejects: malformed and conflicting registrations panic
+// before mutating the registry, keeping init-time mistakes loud.
+func TestRegisterRejects(t *testing.T) {
+	wantPanic := func(name string, d proto.Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		proto.Register(d)
+	}
+	spawn := func(core.Config, proto.Deps) (core.Machine, error) { return nil, nil }
+	wantPanic("no name", proto.Descriptor{ID: 99, Model: quorum.FailStop, Coin: coin.SchemeNone, Spawn: spawn})
+	wantPanic("no spawn", proto.Descriptor{ID: 99, Name: "x", Model: quorum.FailStop, Coin: coin.SchemeNone})
+	wantPanic("auto coin", proto.Descriptor{ID: 99, Name: "x", Model: quorum.FailStop, Coin: coin.SchemeAuto, Spawn: spawn})
+	wantPanic("duplicate id", proto.Descriptor{ID: proto.FailStop, Name: "x", Model: quorum.FailStop, Coin: coin.SchemeNone, Spawn: spawn})
+	wantPanic("taken name", proto.Descriptor{ID: 99, Name: "failstop(fig1)", Model: quorum.FailStop, Coin: coin.SchemeNone, Spawn: spawn})
+}

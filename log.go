@@ -44,14 +44,23 @@ type LogCrash struct {
 }
 
 // LogOptions configures a replicated-log run. The log multiplexes one
-// Figure-2 (authenticated echo) consensus instance per slot over a shared
-// transport: slot s is proposed by process s mod n, carries a batch of
-// operations when that proposer is alive, and commits in slot order.
+// consensus instance per slot (Figure-2 authenticated echo by default) over
+// a shared transport: slot s is proposed by process s mod n, carries a
+// batch of operations when that proposer is alive, and commits in slot
+// order.
 type LogOptions struct {
 	// Engine selects the execution engine (default EngineSim).
 	Engine Engine
+	// Protocol selects the per-slot consensus protocol (default
+	// ProtocolMalicious). A slot needs a validity-respecting binary
+	// consensus decision, so ProtocolBroadcast (not a consensus) and
+	// ProtocolBivalence (decides input parity) are rejected.
+	Protocol Protocol
+	// Coin overrides the coin scheme of randomized slot protocols (see
+	// SimOptions.Coin).
+	Coin CoinScheme
 	// N is the replica count (default 7); K the fault parameter
-	// (0 = the Figure-2 bound for N).
+	// (0 = the protocol's bound for N).
 	N, K int
 	// Seed selects the execution; per-slot machine seeds derive from it.
 	Seed uint64
@@ -151,37 +160,50 @@ type slotDesc struct {
 
 // logRun is a normalized, validated log configuration.
 type logRun struct {
-	engine  Engine
-	n, k    int
-	seed    uint64
-	batch   int
-	window  int
-	linger  time.Duration
-	crashAt map[ID]int // process -> first dead slot
-	tcp     TCPTuning
-	unit    time.Duration
-	reg     *MetricsRegistry
-	met     logMetrics
+	engine   Engine
+	protocol Protocol
+	coin     CoinScheme
+	n, k     int
+	seed     uint64
+	batch    int
+	window   int
+	linger   time.Duration
+	crashAt  map[ID]int // process -> first dead slot
+	tcp      TCPTuning
+	unit     time.Duration
+	reg      *MetricsRegistry
+	met      logMetrics
 }
 
 func newLogRun(opts LogOptions) (*logRun, error) {
 	r := &logRun{
-		engine: opts.Engine,
-		n:      opts.N,
-		k:      opts.K,
-		seed:   opts.Seed,
-		batch:  opts.Batch,
-		window: opts.Pipeline,
-		linger: opts.Linger,
-		tcp:    opts.TCP,
-		unit:   opts.Unit,
-		reg:    opts.Metrics,
+		engine:   opts.Engine,
+		protocol: opts.Protocol,
+		coin:     opts.Coin,
+		n:        opts.N,
+		k:        opts.K,
+		seed:     opts.Seed,
+		batch:    opts.Batch,
+		window:   opts.Pipeline,
+		linger:   opts.Linger,
+		tcp:      opts.TCP,
+		unit:     opts.Unit,
+		reg:      opts.Metrics,
 	}
 	if r.engine == 0 {
 		r.engine = EngineSim
 	}
 	if !r.engine.Valid() {
 		return nil, fmt.Errorf("resilient: unknown engine %d", int(r.engine))
+	}
+	if r.protocol == 0 {
+		r.protocol = ProtocolMalicious
+	}
+	if !r.protocol.Valid() {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(r.protocol))
+	}
+	if r.protocol == ProtocolBroadcast || r.protocol == ProtocolBivalence {
+		return nil, fmt.Errorf("resilient: log slots need a validity-respecting consensus protocol, not %v", r.protocol)
 	}
 	if r.n == 0 {
 		r.n = 7
@@ -190,11 +212,11 @@ func newLogRun(opts LogOptions) (*logRun, error) {
 		return nil, fmt.Errorf("resilient: log needs n >= 1, got %d", r.n)
 	}
 	if r.k == 0 {
-		r.k = ProtocolMalicious.MaxFaults(r.n)
+		r.k = r.protocol.MaxFaults(r.n)
 	}
-	if r.k < 0 || r.k > ProtocolMalicious.MaxFaults(r.n) {
+	if r.k < 0 || r.k > r.protocol.MaxFaults(r.n) {
 		return nil, fmt.Errorf("resilient: log k=%d exceeds %v bound %d at n=%d",
-			r.k, ProtocolMalicious, ProtocolMalicious.MaxFaults(r.n), r.n)
+			r.k, r.protocol, r.protocol.MaxFaults(r.n), r.n)
 	}
 	if r.batch == 0 {
 		r.batch = DefaultLogBatch
@@ -352,7 +374,7 @@ func (r *logRun) runSim(batches []*logBatch) (*LogReport, error) {
 	cfgs := make([]runtime.Config, len(descs))
 	for i, d := range descs {
 		seed := r.slotSeed(d.slot)
-		spawner, err := spawnerFor(ProtocolMalicious, SimOptions{Seed: seed}, nil)
+		spawner, err := spawnerFor(r.protocol, SimOptions{Seed: seed, Coin: r.coin}, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -527,7 +549,7 @@ dispatch:
 // the real wire, so throughput numbers include payload transfer.
 func (r *logRun) runLiveSlot(ctx context.Context, d slotDesc, endpoints []*netxport.Endpoint) (livenet.InstanceOutcome, error) {
 	seed := r.slotSeed(d.slot)
-	machines, err := buildMachines(ProtocolMalicious, r.n, r.k, d.inputs(r.n), seed)
+	machines, err := buildMachines(r.protocol, r.n, r.k, d.inputs(r.n), seed, r.coin)
 	if err != nil {
 		return livenet.InstanceOutcome{}, err
 	}

@@ -15,6 +15,14 @@
 //   - NewMachine: raw protocol state machines, for embedding in a custom
 //     engine.
 //
+// Protocols live in a registry (internal/proto): each protocol package
+// registers a descriptor -- name, fault model, resilience bound, coin
+// scheme, machine constructor -- and every layer here resolves protocols
+// through it, so adding a protocol is a one-package change. Randomized
+// protocols draw their free choices through the coin seam (internal/coin):
+// per-process local coins reproduce [BenO83], the deterministic shared
+// coin gives the constant-expected-phase common-coin variant.
+//
 // The analysis side of the paper (Section 4) is exposed through the
 // Analyze* and Estimate* functions: exact Markov-chain absorption times,
 // the paper's closed-form bounds, and fast Monte-Carlo estimation.
@@ -23,15 +31,20 @@ package resilient
 import (
 	"fmt"
 
-	"resilient/internal/benor"
-	"resilient/internal/bivalence"
+	"resilient/internal/coin"
 	"resilient/internal/core"
-	"resilient/internal/failstop"
-	"resilient/internal/majority"
-	"resilient/internal/malicious"
 	"resilient/internal/msg"
+	"resilient/internal/proto"
 	"resilient/internal/quorum"
-	"resilient/internal/sample"
+
+	// Every protocol package registers its descriptors with the registry at
+	// init time; these imports pull the whole zoo in.
+	_ "resilient/internal/benor"
+	_ "resilient/internal/bivalence"
+	_ "resilient/internal/failstop"
+	_ "resilient/internal/majority"
+	_ "resilient/internal/malicious"
+	_ "resilient/internal/sample"
 )
 
 // Value is a binary consensus value (0 or 1).
@@ -64,90 +77,79 @@ const (
 	Malicious = quorum.Malicious
 )
 
-// Protocol selects a consensus protocol implementation.
-type Protocol int
+// Protocol selects a consensus protocol implementation. It is the registry
+// id of internal/proto: String, Valid, Model, MaxFaults, Aliases, Bound,
+// NeedsCoin, and DefaultCoin are all registry lookups.
+type Protocol = proto.ID
 
 const (
 	// ProtocolFailStop is the Figure 1 protocol: witness messages,
 	// k <= floor((n-1)/2) fail-stop faults.
-	ProtocolFailStop Protocol = iota + 1
+	ProtocolFailStop = proto.FailStop
 	// ProtocolMalicious is the Figure 2 protocol: authenticated echo
 	// broadcast, k <= floor((n-1)/3) malicious faults.
-	ProtocolMalicious
+	ProtocolMalicious = proto.Malicious
 	// ProtocolMajority is the Section 4.1 analysis variant: plain value
 	// exchange, majority adoption, supermajority decision (fail-stop).
-	ProtocolMajority
+	ProtocolMajority = proto.Majority
 	// ProtocolBenOrCrash is the [BenO83] baseline for fail-stop faults.
-	ProtocolBenOrCrash
+	ProtocolBenOrCrash = proto.BenOrCrash
 	// ProtocolBenOrByzantine is the [BenO83] baseline for malicious
 	// faults (requires 5k < n).
-	ProtocolBenOrByzantine
+	ProtocolBenOrByzantine = proto.BenOrByzantine
 	// ProtocolBivalence is the Section 5 weak-bivalence protocol for
 	// initially-dead faults (tolerates any k < n).
-	ProtocolBivalence
+	ProtocolBivalence = proto.Bivalence
 	// ProtocolBroadcast is a single reliable broadcast: process 0
 	// disseminates its input and every correct process delivers it. It is
 	// the echo-stage primitive of Figure 2 isolated as its own protocol,
 	// runnable over either broadcast scheme (full-quorum echo or the
 	// sample-based scheme of internal/sample) for the scalability
 	// benchmarks; see SimOptions.Broadcast.
-	ProtocolBroadcast
+	ProtocolBroadcast = proto.Broadcast
+	// ProtocolBenOrShared is Ben-Or's structure driven by the
+	// deterministic shared coin: all correct processes flip the same value
+	// each round, so the expected phase count is constant instead of
+	// growing with n. See internal/coin.
+	ProtocolBenOrShared = proto.BenOrShared
 )
 
-// String names the protocol.
-func (p Protocol) String() string {
-	switch p {
-	case ProtocolFailStop:
-		return "failstop(fig1)"
-	case ProtocolMalicious:
-		return "malicious(fig2)"
-	case ProtocolMajority:
-		return "majority(s4.1)"
-	case ProtocolBenOrCrash:
-		return "benor-crash"
-	case ProtocolBenOrByzantine:
-		return "benor-byzantine"
-	case ProtocolBivalence:
-		return "bivalence(s5)"
-	case ProtocolBroadcast:
-		return "broadcast"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
-	}
+// ParseProtocol resolves a protocol name or alias (e.g. "failstop",
+// "fig2", "benor-shared"), case-insensitively, against the registry.
+func ParseProtocol(name string) (Protocol, error) {
+	return proto.Parse(name)
 }
 
-// Valid reports whether p names a protocol.
-func (p Protocol) Valid() bool {
-	return p >= ProtocolFailStop && p <= ProtocolBroadcast
+// Protocols returns every registered protocol in id order.
+func Protocols() []Protocol {
+	ds := proto.All()
+	ps := make([]Protocol, len(ds))
+	for i, d := range ds {
+		ps[i] = d.ID
+	}
+	return ps
 }
 
-// Model returns the fault model a protocol is designed for.
-func (p Protocol) Model() FaultModel {
-	switch p {
-	case ProtocolMalicious, ProtocolBenOrByzantine, ProtocolBroadcast:
-		return Malicious
-	default:
-		return FailStop
-	}
-}
+// CoinScheme selects how a run sources the coin randomness of randomized
+// protocols; see the internal coin package.
+type CoinScheme = coin.Scheme
 
-// MaxFaults returns the largest tolerable k for the protocol at system size
-// n: floor((n-1)/2) for the fail-stop protocols, floor((n-1)/3) for the
-// malicious ones (and floor((n-1)/5) for Ben-Or's Byzantine variant), and
-// n-1 for the Section 5 initially-dead protocol.
-func (p Protocol) MaxFaults(n int) int {
-	switch p {
-	case ProtocolBenOrByzantine:
-		return (n - 1) / 5
-	case ProtocolBivalence:
-		return n - 1
-	case ProtocolMajority:
-		// The Section 4.1 variant needs n-k > (n+k)/2 to reach its
-		// decision threshold: floor((n-1)/3), as the paper states.
-		return quorum.MaxFaults(n, quorum.Malicious)
-	default:
-		return quorum.MaxFaults(n, p.Model())
-	}
+// Coin schemes.
+const (
+	// CoinAuto uses the protocol's registered default scheme.
+	CoinAuto = coin.SchemeAuto
+	// CoinNone marks the deterministic protocols (not an override).
+	CoinNone = coin.SchemeNone
+	// CoinLocal gives every process an independent local coin ([BenO83]).
+	CoinLocal = coin.SchemeLocal
+	// CoinShared gives every process the same deterministic common coin
+	// derived from the run seed.
+	CoinShared = coin.SchemeShared
+)
+
+// ParseCoinScheme resolves a coin scheme name: auto | none | local | shared.
+func ParseCoinScheme(name string) (CoinScheme, error) {
+	return coin.ParseScheme(name)
 }
 
 // MachineConfig configures a single protocol machine.
@@ -157,45 +159,50 @@ type MachineConfig struct {
 	N, K  int
 	Self  ID
 	Input Value
+	// CoinSeed seeds the machine's coin for protocols that draw one: give
+	// every process a distinct value under the local scheme and the same
+	// run-wide value under the shared scheme. Deterministic protocols
+	// ignore it.
+	CoinSeed uint64
+	// Coin overrides the protocol's default coin scheme (CoinAuto keeps
+	// the default); overrides that contradict the protocol are rejected.
+	Coin CoinScheme
 }
 
 // NewMachine builds a raw protocol state machine for one process, for use
 // with a custom execution engine. Machines returned here are honest; see
-// Simulate's Adversary option for Byzantine behaviours.
+// Simulate's Adversary option for Byzantine behaviours. Protocols with a
+// sampled broadcast stage get their full-quorum variant (the sampled one
+// needs a run-wide sample directory, built through Simulate).
 func NewMachine(p Protocol, cfg MachineConfig) (Machine, error) {
-	cc := core.Config{N: cfg.N, K: cfg.K, Self: cfg.Self, Input: cfg.Input}
-	switch p {
-	case ProtocolFailStop:
-		return failstop.New(cc, nil)
-	case ProtocolMalicious:
-		return malicious.New(cc, nil)
-	case ProtocolMajority:
-		return majority.New(cc, nil)
-	case ProtocolBenOrCrash, ProtocolBenOrByzantine:
-		return nil, fmt.Errorf("resilient: %v needs a random source; use NewBenOrMachine", p)
-	case ProtocolBivalence:
-		return bivalence.New(cc, nil)
-	case ProtocolBroadcast:
-		// The full-quorum variant; the sampled variant needs the run's
-		// shared sample directory, so it is built through Simulate.
-		return sample.NewEchoMachine(cc, 0)
-	default:
+	d, ok := proto.Lookup(p)
+	if !ok {
 		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
 	}
+	scheme, err := d.ResolveCoin(cfg.Coin)
+	if err != nil {
+		return nil, fmt.Errorf("resilient: %w", err)
+	}
+	deps := proto.Deps{}
+	switch scheme {
+	case CoinLocal:
+		deps.Coin = coin.NewLocal(newRand(cfg.CoinSeed))
+	case CoinShared:
+		deps.Coin = coin.NewShared(cfg.CoinSeed)
+	}
+	return d.Spawn(core.Config{N: cfg.N, K: cfg.K, Self: cfg.Self, Input: cfg.Input}, deps)
 }
 
 // NewBenOrMachine builds a Ben-Or machine with the given coin seed.
+//
+// Deprecated: NewMachine accepts the Ben-Or protocols directly; set
+// MachineConfig.CoinSeed instead.
 func NewBenOrMachine(p Protocol, cfg MachineConfig, coinSeed uint64) (Machine, error) {
-	cc := core.Config{N: cfg.N, K: cfg.K, Self: cfg.Self, Input: cfg.Input}
-	mode := benor.Crash
-	switch p {
-	case ProtocolBenOrCrash:
-	case ProtocolBenOrByzantine:
-		mode = benor.Byzantine
-	default:
+	if p != ProtocolBenOrCrash && p != ProtocolBenOrByzantine && p != ProtocolBenOrShared {
 		return nil, fmt.Errorf("resilient: %v is not a Ben-Or protocol", p)
 	}
-	return benor.New(cc, mode, newRand(coinSeed), nil)
+	cfg.CoinSeed = coinSeed
+	return NewMachine(p, cfg)
 }
 
 // MaxFaultsFor returns the tight resilience bound of the paper for a fault

@@ -4,15 +4,12 @@ import (
 	"fmt"
 	"math/rand/v2"
 
-	"resilient/internal/benor"
-	"resilient/internal/bivalence"
 	"resilient/internal/byzantine"
+	"resilient/internal/coin"
 	"resilient/internal/core"
-	"resilient/internal/failstop"
 	"resilient/internal/faults"
-	"resilient/internal/majority"
-	"resilient/internal/malicious"
 	"resilient/internal/msg"
+	"resilient/internal/proto"
 	"resilient/internal/runtime"
 	"resilient/internal/sample"
 	"resilient/internal/sched"
@@ -180,6 +177,13 @@ type SimOptions struct {
 	// Eps is the sampled scheme's per-acceptance error bound
 	// (0 = sample.DefaultEps = 1e-3). Ignored under SchemeEcho.
 	Eps float64
+	// Coin overrides the coin scheme of randomized protocols (CoinAuto
+	// keeps the protocol's registered default). CoinLocal gives every
+	// process an independent coin seeded from the run seed; CoinShared
+	// derives one common coin from the run seed. Overrides that contradict
+	// the protocol -- any scheme for a deterministic protocol, CoinNone for
+	// a randomized one -- are rejected.
+	Coin CoinScheme
 	// Unsafe skips the resilience-bound validation of (n, k), for
 	// deliberately misconfigured lower-bound experiments.
 	Unsafe bool
@@ -241,7 +245,11 @@ func sampleDirectory(p Protocol, n, k int, opts SimOptions) (*sample.Directory, 
 	if !opts.Broadcast.Valid() {
 		return nil, fmt.Errorf("resilient: unknown broadcast scheme %d", int(opts.Broadcast))
 	}
-	if opts.Broadcast == SchemeEcho || (p != ProtocolMalicious && p != ProtocolBroadcast) {
+	d, ok := proto.Lookup(p)
+	if !ok {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+	}
+	if opts.Broadcast == SchemeEcho || !d.NeedsDirectory {
 		return nil, nil
 	}
 	if opts.Unsafe {
@@ -262,40 +270,32 @@ func sampleDirectory(p Protocol, n, k int, opts SimOptions) (*sample.Directory, 
 // processes, strategy-wrapped machines for adversaries. dir is the shared
 // sample directory when the run uses the sampled broadcast scheme.
 func spawnerFor(p Protocol, opts SimOptions, dir *sample.Directory) (runtime.Spawner, error) {
+	d, ok := proto.Lookup(p)
+	if !ok {
+		return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+	}
+	scheme, err := d.ResolveCoin(opts.Coin)
+	if err != nil {
+		return nil, fmt.Errorf("resilient: %w", err)
+	}
+	// One shared coin per run: every process flips the same value for a
+	// given phase. Local coins instead draw from each process's own RNG.
+	var shared coin.Source
+	if scheme == CoinShared {
+		shared = coin.NewShared(opts.Seed)
+	}
 	honest := func(ctx runtime.SpawnContext) (core.Machine, error) {
-		switch p {
-		case ProtocolFailStop:
-			if opts.Unsafe {
-				return failstop.NewUnsafe(ctx.Config, ctx.Sink), nil
-			}
-			return failstop.New(ctx.Config, ctx.Sink)
-		case ProtocolMalicious:
-			if dir != nil {
-				return malicious.NewSampled(ctx.Config, dir, ctx.Sink)
-			}
-			if opts.Unsafe {
-				return malicious.NewUnsafe(ctx.Config, ctx.Sink), nil
-			}
-			return malicious.New(ctx.Config, ctx.Sink)
-		case ProtocolMajority:
-			if opts.Unsafe {
-				return majority.NewUnsafe(ctx.Config, ctx.Sink), nil
-			}
-			return majority.New(ctx.Config, ctx.Sink)
-		case ProtocolBenOrCrash:
-			return benor.New(ctx.Config, benor.Crash, ctx.RNG, ctx.Sink)
-		case ProtocolBenOrByzantine:
-			return benor.New(ctx.Config, benor.Byzantine, ctx.RNG, ctx.Sink)
-		case ProtocolBivalence:
-			return bivalence.New(ctx.Config, ctx.Sink)
-		case ProtocolBroadcast:
-			if dir != nil {
-				return sample.NewMachine(ctx.Config, dir, 0)
-			}
-			return sample.NewEchoMachine(ctx.Config, 0)
-		default:
-			return nil, fmt.Errorf("resilient: unknown protocol %d", int(p))
+		deps := proto.Deps{Sink: ctx.Sink, Unsafe: opts.Unsafe}
+		if dir != nil {
+			deps.Directory = dir
 		}
+		switch scheme {
+		case CoinLocal:
+			deps.Coin = coin.NewLocal(ctx.RNG)
+		case CoinShared:
+			deps.Coin = shared
+		}
+		return d.Spawn(ctx.Config, deps)
 	}
 	if len(opts.Adversaries) == 0 {
 		return honest, nil

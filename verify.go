@@ -3,6 +3,7 @@ package resilient
 import (
 	"resilient/internal/check"
 	"resilient/internal/msg"
+	"resilient/internal/proto"
 )
 
 // Violation is one broken protocol invariant found by Verify.
@@ -24,17 +25,14 @@ func Verify(p Protocol, n, k int, inputs []Value, adversaries map[ID]Strategy,
 	for id := range adversaries {
 		byz[id] = true
 	}
-	protoName := ""
-	switch p {
-	case ProtocolFailStop:
-		protoName = "failstop"
-	case ProtocolMalicious:
-		protoName = "malicious"
+	cfg := check.Config{N: n, K: k, Inputs: inputs, Byzantine: byz}
+	if d, ok := proto.Lookup(p); ok {
+		// The descriptor names the checker's protocol-specific support
+		// rules (empty = generic checks only) and marks protocols that
+		// decide an agreed function of the inputs rather than a
+		// majority-respecting value.
+		cfg.Protocol = d.CheckName
+		cfg.SkipValidity = d.SkipValidity
 	}
-	return check.Run(check.Config{
-		N: n, K: k, Inputs: inputs, Byzantine: byz, Protocol: protoName,
-		// The Section 5 protocol decides an agreed bivalent function of
-		// the inputs (their parity), not a majority-respecting value.
-		SkipValidity: p == ProtocolBivalence,
-	}, buf.Events(), res)
+	return check.Run(cfg, buf.Events(), res)
 }
